@@ -1,0 +1,158 @@
+// Micro-benchmarks (google-benchmark): classifier training and scoring
+// costs, feature extraction and discretization throughput — the
+// computational-cost axis of the paper's future work ("we are developing
+// technologies to reduce computational cost").
+
+#include <benchmark/benchmark.h>
+
+#include "cfa/model.h"
+#include "features/discretize.h"
+#include "features/extract.h"
+#include "ml/c45.h"
+#include "ml/naive_bayes.h"
+#include "ml/ripper.h"
+#include "sim/rng.h"
+
+namespace xfa {
+namespace {
+
+/// Synthetic discrete dataset with realistic shape: `rows` x `columns`,
+/// cardinality 5, correlated in blocks of 4 columns.
+Dataset synthetic(std::size_t rows, std::size_t columns,
+                  std::uint64_t seed = 5) {
+  Dataset data;
+  data.cardinality.assign(columns, 5);
+  Rng rng(seed);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<int> row(columns);
+    for (std::size_t c = 0; c < columns; c += 4) {
+      const int base = static_cast<int>(rng.uniform_int(5));
+      for (std::size_t k = c; k < std::min(c + 4, columns); ++k)
+        row[k] = rng.chance(0.8)
+                     ? base
+                     : static_cast<int>(rng.uniform_int(5));
+    }
+    data.rows.push_back(std::move(row));
+  }
+  return data;
+}
+
+std::vector<std::size_t> all_columns(std::size_t n) {
+  std::vector<std::size_t> columns(n);
+  for (std::size_t i = 0; i < n; ++i) columns[i] = i;
+  return columns;
+}
+
+template <typename ClassifierT>
+void BM_ClassifierFit(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  const Dataset data = synthetic(rows, 40);
+  std::vector<std::size_t> features = all_columns(40);
+  features.pop_back();
+  for (auto _ : state) {
+    ClassifierT classifier;
+    classifier.fit(data, features, 39);
+    benchmark::DoNotOptimize(classifier);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_ClassifierFit<C45>)->Arg(500)->Arg(2000);
+BENCHMARK(BM_ClassifierFit<Ripper>)->Arg(500)->Arg(2000);
+BENCHMARK(BM_ClassifierFit<NaiveBayes>)->Arg(500)->Arg(2000);
+
+template <typename ClassifierT>
+void BM_ClassifierPredict(benchmark::State& state) {
+  const Dataset data = synthetic(1000, 40);
+  std::vector<std::size_t> features = all_columns(40);
+  features.pop_back();
+  ClassifierT classifier;
+  classifier.fit(data, features, 39);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        classifier.predict_dist(data.rows[i++ % data.rows.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ClassifierPredict<C45>);
+BENCHMARK(BM_ClassifierPredict<Ripper>);
+BENCHMARK(BM_ClassifierPredict<NaiveBayes>);
+
+void BM_CrossFeatureTrain(benchmark::State& state) {
+  const auto columns = static_cast<std::size_t>(state.range(0));
+  const Dataset data = synthetic(500, columns);
+  const auto label_columns = all_columns(columns);
+  for (auto _ : state) {
+    CrossFeatureModel model;
+    model.train(data, label_columns,
+                [] { return std::make_unique<C45>(); }, 1);
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(columns));
+}
+BENCHMARK(BM_CrossFeatureTrain)->Arg(20)->Arg(60)->Arg(140)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CrossFeatureScore(benchmark::State& state) {
+  const Dataset data = synthetic(500, 60);
+  CrossFeatureModel model;
+  model.train(data, all_columns(60),
+              [] { return std::make_unique<C45>(); }, 1);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.score(data.rows[i++ % data.rows.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CrossFeatureScore);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  // An audit log with ~30k packet observations over 2000 s.
+  AuditLog audit;
+  Rng rng(7);
+  double t = 0;
+  while (t < 2000) {
+    t += rng.exponential(0.07);
+    const auto type = static_cast<AuditPacketType>(rng.uniform_int(6));
+    auto dir = static_cast<FlowDirection>(rng.uniform_int(4));
+    if (type == AuditPacketType::Data &&
+        (dir == FlowDirection::Forwarded || dir == FlowDirection::Dropped))
+      dir = FlowDirection::Sent;
+    audit.record_packet(t, type, dir);
+  }
+  const FeatureSchema schema = FeatureSchema::standard();
+  const FeatureExtractor extractor(schema, 5.0);
+  SampledNodeState node_state;
+  node_state.velocity.assign(extractor.sample_count(2000.0), 1.0);
+  node_state.average_route_len.assign(extractor.sample_count(2000.0), 2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.extract(audit, node_state, 2000.0));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(audit.total_packet_records()));
+  state.SetLabel("2000s trace, 141 features");
+}
+BENCHMARK(BM_FeatureExtraction)->Unit(benchmark::kMillisecond);
+
+void BM_Discretizer(benchmark::State& state) {
+  Rng rng(9);
+  std::vector<std::vector<double>> rows;
+  for (int r = 0; r < 2000; ++r) {
+    std::vector<double> row(141);
+    for (double& v : row) v = rng.exponential(5.0);
+    rows.push_back(std::move(row));
+  }
+  for (auto _ : state) {
+    EqualFrequencyDiscretizer discretizer(5);
+    discretizer.fit(rows, 500);
+    benchmark::DoNotOptimize(discretizer);
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_Discretizer)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace xfa
+
+BENCHMARK_MAIN();

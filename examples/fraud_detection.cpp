@@ -1,0 +1,122 @@
+// Example: cross-feature analysis outside MANETs.
+//
+// The paper's conclusion claims the framework "is a general anomaly
+// detection approach ... as well as a few financial fraud detection
+// problems where only normal data could be trusted. ... Initial experiments
+// using credit card fraud detection have revealed promising results."
+//
+// This example reproduces that spirit on synthetic credit-card data: normal
+// transactions have strong inter-feature correlations (spending hour <->
+// merchant category <-> amount band <-> distance from home), fraud breaks
+// them. The detector trains on normal transactions only.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "cfa/model.h"
+#include "cfa/threshold.h"
+#include "eval/pr.h"
+#include "ml/c45.h"
+#include "sim/rng.h"
+
+namespace {
+
+using namespace xfa;
+
+// Feature columns: hour band (0 night / 1 morning / 2 day / 3 evening),
+// merchant category (0 grocery / 1 fuel / 2 online / 3 travel / 4 luxury),
+// amount band (0 small .. 3 large), distance band (0 near .. 2 far),
+// velocity band (transactions in last hour: 0/1/2+).
+constexpr std::size_t kColumns = 5;
+
+std::vector<int> normal_transaction(Rng& rng) {
+  // A cardholder with habits: groceries by day near home (small amounts),
+  // fuel in the morning (small), online in the evening (medium), rare
+  // travel (far, large, daytime). Velocity is almost always low.
+  const double archetype = rng.uniform();
+  if (archetype < 0.45) {  // grocery run
+    return {2, 0, static_cast<int>(rng.uniform_int(2)), 0,
+            rng.chance(0.9) ? 0 : 1};
+  }
+  if (archetype < 0.70) {  // fuel
+    return {1, 1, 0, static_cast<int>(rng.uniform_int(2)),
+            rng.chance(0.9) ? 0 : 1};
+  }
+  if (archetype < 0.93) {  // online evening shopping
+    return {3, 2, rng.chance(0.7) ? 1 : 2, 0, rng.chance(0.8) ? 0 : 1};
+  }
+  // travel
+  return {2, 3, 3, 2, 0};
+}
+
+std::vector<int> fraud_transaction(Rng& rng) {
+  // Stolen-card patterns: luxury at night, far away, in rapid bursts; or
+  // large online purchases at odd hours.
+  if (rng.chance(0.5)) return {0, 4, 3, 2, 2};
+  return {0, 2, 3, static_cast<int>(rng.uniform_int(3)), 2};
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(2026);
+
+  Dataset train;
+  train.cardinality = {4, 5, 4, 3, 3};
+  train.names = {"hour", "merchant", "amount", "distance", "velocity"};
+  for (int i = 0; i < 4000; ++i) train.rows.push_back(normal_transaction(rng));
+
+  std::printf("Training cross-feature model on %zu normal transactions...\n",
+              train.size());
+  CrossFeatureModel model;
+  model.train(train, {0, 1, 2, 3, 4},
+              [] { return std::make_unique<C45>(); });
+
+  // Threshold at 1% false alarms on held-out normal data.
+  std::vector<double> calibration;
+  for (int i = 0; i < 2000; ++i)
+    calibration.push_back(model.score(normal_transaction(rng)).avg_probability);
+  const double theta = select_threshold(calibration, 0.01);
+  std::printf("decision threshold (99%% confidence): %.3f\n\n", theta);
+
+  // Evaluate on a fresh mixed stream.
+  std::vector<double> scores;
+  std::vector<int> labels;
+  std::size_t fraud_caught = 0, fraud_total = 0, false_alarms = 0,
+              normal_total = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const bool is_fraud = rng.chance(0.02);
+    const auto tx = is_fraud ? fraud_transaction(rng)
+                             : normal_transaction(rng);
+    const double score = model.score(tx).avg_probability;
+    scores.push_back(score);
+    labels.push_back(is_fraud ? 1 : 0);
+    if (is_fraud) {
+      ++fraud_total;
+      if (score < theta) ++fraud_caught;
+    } else {
+      ++normal_total;
+      if (score < theta) ++false_alarms;
+    }
+  }
+
+  std::printf("stream of %d transactions (%.0f%% fraud):\n", 5000, 2.0);
+  std::printf("  fraud detected:    %zu / %zu (%.1f%%)\n", fraud_caught,
+              fraud_total,
+              100.0 * static_cast<double>(fraud_caught) /
+                  static_cast<double>(fraud_total));
+  std::printf("  false alarms:      %zu / %zu (%.2f%%)\n", false_alarms,
+              normal_total,
+              100.0 * static_cast<double>(false_alarms) /
+                  static_cast<double>(normal_total));
+  const xfa::PrCurve curve = recall_precision_curve(scores, labels);
+  const xfa::PrPoint best = curve.optimal_point();
+  std::printf("  recall-precision optimal point: (%.2f, %.2f), "
+              "AUC-above-diagonal %.3f\n",
+              best.recall, best.precision, curve.area_above_diagonal());
+  std::printf(
+      "\nSame library, no MANET anywhere: the detector only needs events\n"
+      "with correlated features and a trustworthy stream of normal data.\n");
+  return 0;
+}

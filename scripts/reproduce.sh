@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# Regenerates every table and figure of the paper, plus the ablations.
+# First run simulates ~40 x 10^4-second traces (tens of minutes on one
+# core); all traces are cached under ./xfa_cache for subsequent runs.
+set -e
+cmake -B build -G Ninja
+cmake --build build
+./build/examples/warm                      # pre-simulate all traces
+ctest --test-dir build --output-on-failure
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] && "$b"
+done

@@ -1,0 +1,48 @@
+// Black hole attack (paper §4.1, Table 6): "generate bogus shortest route to
+// all nodes and absorb all traffic nearby".
+//
+// While a session is active the compromised node (a) periodically broadcasts
+// forged route advertisements covering every other node as victim source,
+// with the maximum allowed sequence number, and (b) silently discards all
+// data packets routed through it. The forged max-seqno routes are never
+// superseded by the routing protocol — the persistence effect the paper
+// reports ("will never be automatically rectified").
+#pragma once
+
+#include <memory>
+
+#include "attacks/onoff.h"
+#include "net/node.h"
+#include "sim/simulator.h"
+
+namespace xfa {
+
+struct BlackholeConfig {
+  SimTime advert_interval = 2.0;  // seconds between advertisement rounds
+  std::size_t victims_per_round = 10;
+};
+
+class BlackholeAttack {
+ public:
+  /// `node` must already have its routing agent (AODV or DSR) installed.
+  BlackholeAttack(Node& node, IntrusionSchedule schedule,
+                  const BlackholeConfig& config = {});
+
+  /// Arms the periodic advertisement timer and installs the drop filter.
+  void start();
+
+  const IntrusionSchedule& schedule() const { return schedule_; }
+  std::uint64_t adverts_sent() const { return adverts_sent_; }
+
+ private:
+  void advert_round();
+
+  Node& node_;
+  IntrusionSchedule schedule_;
+  BlackholeConfig config_;
+  NodeId next_victim_ = 0;
+  std::uint64_t adverts_sent_ = 0;
+  std::unique_ptr<PeriodicTimer> timer_;
+};
+
+}  // namespace xfa

@@ -1,0 +1,42 @@
+#include "attacks/drop_variants.h"
+
+namespace xfa {
+
+const char* to_string(DropMode mode) {
+  switch (mode) {
+    case DropMode::Constant: return "constant";
+    case DropMode::Random: return "random";
+    case DropMode::Selective: return "selective";
+  }
+  return "?";
+}
+
+DropAttack::DropAttack(Node& node, DropSpec spec, IntrusionSchedule schedule)
+    : node_(node),
+      spec_(spec),
+      schedule_(std::move(schedule)),
+      rng_(node.sim().fork_rng()) {}
+
+void DropAttack::start() {
+  node_.add_forward_filter(
+      [this](const Packet& pkt) { return should_drop(pkt); });
+}
+
+bool DropAttack::should_drop(const Packet& pkt) {
+  if (spec_.data_only && pkt.kind != PacketKind::Data) return false;
+  if (!schedule_.active(node_.sim().now())) return false;
+  switch (spec_.mode) {
+    case DropMode::Constant:
+      break;
+    case DropMode::Random:
+      if (!rng_.chance(spec_.probability)) return false;
+      break;
+    case DropMode::Selective:
+      if (pkt.dst != spec_.target_dst) return false;
+      break;
+  }
+  ++matched_;
+  return true;
+}
+
+}  // namespace xfa

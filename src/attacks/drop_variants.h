@@ -1,0 +1,52 @@
+// The packet-dropping family of paper §2.3: "A random dropping attack drops
+// packets randomly. A constant dropping attack drops packets all the time.
+// A periodic dropping drops packets periodically to escape from being
+// suspected. A selective dropping attack drops packets based on its
+// destination or some other characteristics."
+//
+// Constant / random / selective are drop modes; periodic is the schedule
+// (every mode composes with any IntrusionSchedule). SelectiveDropAttack in
+// dropper.h remains the evaluation's script; this is the full taxonomy.
+#pragma once
+
+#include "attacks/onoff.h"
+#include "net/node.h"
+#include "sim/rng.h"
+
+namespace xfa {
+
+enum class DropMode {
+  Constant,   // drop every packet asked to forward
+  Random,     // drop with probability `probability`
+  Selective,  // drop packets for `target_dst` only
+};
+
+const char* to_string(DropMode mode);
+
+struct DropSpec {
+  DropMode mode = DropMode::Constant;
+  double probability = 0.5;           // Random mode
+  NodeId target_dst = kInvalidNode;   // Selective mode
+  bool data_only = true;              // also drop relayed control when false
+};
+
+class DropAttack {
+ public:
+  DropAttack(Node& node, DropSpec spec, IntrusionSchedule schedule);
+
+  void start();
+
+  std::uint64_t drops_matched() const { return matched_; }
+  const DropSpec& spec() const { return spec_; }
+
+ private:
+  bool should_drop(const Packet& pkt);
+
+  Node& node_;
+  DropSpec spec_;
+  IntrusionSchedule schedule_;
+  Rng rng_;
+  std::uint64_t matched_ = 0;
+};
+
+}  // namespace xfa

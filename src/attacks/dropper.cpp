@@ -1,0 +1,18 @@
+#include "attacks/dropper.h"
+
+namespace xfa {
+
+SelectiveDropAttack::SelectiveDropAttack(Node& node, NodeId target_dst,
+                                         IntrusionSchedule schedule)
+    : node_(node), target_(target_dst), schedule_(std::move(schedule)) {}
+
+void SelectiveDropAttack::start() {
+  node_.add_forward_filter([this](const Packet& pkt) {
+    if (pkt.dst != target_) return false;
+    if (!schedule_.active(node_.sim().now())) return false;
+    ++matched_;
+    return true;
+  });
+}
+
+}  // namespace xfa

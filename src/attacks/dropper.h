@@ -1,0 +1,29 @@
+// Selective packet dropping attack (paper §4.1, Table 6): "drop packets to
+// specific destination"; the destination is a script parameter.
+#pragma once
+
+#include "attacks/onoff.h"
+#include "net/node.h"
+
+namespace xfa {
+
+class SelectiveDropAttack {
+ public:
+  /// While a session is active, any packet routed through `node` whose final
+  /// destination is `target_dst` is silently discarded.
+  SelectiveDropAttack(Node& node, NodeId target_dst,
+                      IntrusionSchedule schedule);
+
+  void start();
+
+  NodeId target() const { return target_; }
+  std::uint64_t drops_matched() const { return matched_; }
+
+ private:
+  Node& node_;
+  NodeId target_;
+  IntrusionSchedule schedule_;
+  std::uint64_t matched_ = 0;
+};
+
+}  // namespace xfa

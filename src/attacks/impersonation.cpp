@@ -1,0 +1,42 @@
+#include "attacks/impersonation.h"
+
+#include <cassert>
+
+namespace xfa {
+
+ImpersonationAttack::ImpersonationAttack(Node& node, NodeId victim,
+                                         NodeId target,
+                                         IntrusionSchedule schedule,
+                                         const ImpersonationConfig& config)
+    : node_(node),
+      victim_(victim),
+      target_(target),
+      schedule_(std::move(schedule)),
+      config_(config) {
+  assert(victim != node.id() && "impersonating yourself is just sending");
+  assert(config.packets_per_second > 0);
+}
+
+void ImpersonationAttack::start() {
+  timer_ = std::make_unique<PeriodicTimer>(
+      node_.sim(), 1.0 / config_.packets_per_second, [this] { tick(); });
+  timer_->start();
+}
+
+void ImpersonationAttack::tick() {
+  if (!schedule_.active(node_.sim().now())) return;
+  // Craft the forged packet directly (bypassing Node::send_data, which would
+  // stamp the true source address) and hand it to the routing agent — the
+  // link/network layer cannot tell a forged source apart (paper §2.3).
+  Packet pkt;
+  pkt.kind = PacketKind::Data;
+  pkt.src = victim_;
+  pkt.dst = target_;
+  pkt.flow_id = config_.flow_id;
+  pkt.seq = next_seq_++;
+  pkt.size_bytes = config_.packet_bytes;
+  ++forged_;
+  node_.routing().send_data(std::move(pkt));
+}
+
+}  // namespace xfa

@@ -1,0 +1,50 @@
+// Identity impersonation attack (paper §2.3, traffic-distortion category):
+// "Attackers can impersonate another user ... IP and MAC addresses ... are
+// easy to be forged during the transmission of data packets."
+//
+// While a session is active the compromised node originates data packets
+// whose source address is forged to a victim's, framing the victim as the
+// traffic's origin (the paper: "pointing to an innocent individual as the
+// culprit can be even worse than not finding any identity responsible").
+#pragma once
+
+#include <memory>
+
+#include "attacks/onoff.h"
+#include "net/node.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace xfa {
+
+struct ImpersonationConfig {
+  double packets_per_second = 1.0;
+  std::uint32_t packet_bytes = kDataPacketBytes;
+  std::uint32_t flow_id = 0;  // 0 never collides with generated flows
+};
+
+class ImpersonationAttack {
+ public:
+  /// Forges `victim` as the source of data packets toward `target`.
+  ImpersonationAttack(Node& node, NodeId victim, NodeId target,
+                      IntrusionSchedule schedule,
+                      const ImpersonationConfig& config = {});
+
+  void start();
+
+  std::uint64_t packets_forged() const { return forged_; }
+
+ private:
+  void tick();
+
+  Node& node_;
+  NodeId victim_;
+  NodeId target_;
+  IntrusionSchedule schedule_;
+  ImpersonationConfig config_;
+  std::uint32_t next_seq_ = 0;
+  std::uint64_t forged_ = 0;
+  std::unique_ptr<PeriodicTimer> timer_;
+};
+
+}  // namespace xfa

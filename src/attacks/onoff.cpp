@@ -1,0 +1,62 @@
+#include "attacks/onoff.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace xfa {
+
+IntrusionSchedule IntrusionSchedule::periodic(SimTime start, SimTime duration,
+                                              SimTime end) {
+  assert(duration > 0);
+  IntrusionSchedule schedule;
+  schedule.periodic_ = true;
+  schedule.start_ = start;
+  schedule.duration_ = duration;
+  schedule.end_ = end;
+  return schedule;
+}
+
+IntrusionSchedule IntrusionSchedule::sessions(
+    std::vector<std::pair<SimTime, SimTime>> sessions) {
+  IntrusionSchedule schedule;
+  schedule.sessions_ = std::move(sessions);
+  std::sort(schedule.sessions_.begin(), schedule.sessions_.end());
+  return schedule;
+}
+
+IntrusionSchedule IntrusionSchedule::never() { return IntrusionSchedule{}; }
+
+bool IntrusionSchedule::active(SimTime t) const {
+  if (periodic_) {
+    if (t < start_ || t >= end_) return false;
+    return std::fmod(t - start_, 2 * duration_) < duration_;
+  }
+  for (const auto& [start, duration] : sessions_) {
+    if (t >= start && t < start + duration) return true;
+    if (t < start) break;
+  }
+  return false;
+}
+
+SimTime IntrusionSchedule::first_start() const {
+  if (periodic_) return start_;
+  return sessions_.empty() ? kNever : sessions_.front().first;
+}
+
+bool IntrusionSchedule::active_in(SimTime from, SimTime to) const {
+  if (periodic_) {
+    if (to <= start_ || from >= end_) return false;
+    const SimTime lo = std::max(from, start_);
+    if (to - lo >= duration_) return true;  // window spans an on phase
+    const SimTime phase = std::fmod(lo - start_, 2 * duration_);
+    return phase < duration_ ||
+           phase + (to - lo) > 2 * duration_;  // tail wraps into next session
+  }
+  for (const auto& [start, duration] : sessions_) {
+    if (start < to && from < start + duration) return true;
+  }
+  return false;
+}
+
+}  // namespace xfa

@@ -1,0 +1,46 @@
+// The paper's intrusion session model: "we introduce a simple on-off model
+// where intrusion sessions are inserted periodically ... the duration of each
+// intrusion session and the gap between two adjacent intrusion sessions are
+// same", plus an explicit session-list form for the Figure-5 experiments
+// (three sessions at 2500/5000/7500 s, 100 s each).
+#pragma once
+
+#include <vector>
+
+#include "sim/types.h"
+
+namespace xfa {
+
+class IntrusionSchedule {
+ public:
+  /// Equal on/off periods of `duration` seconds, starting at `start`,
+  /// running until `end` (defaults to forever).
+  static IntrusionSchedule periodic(SimTime start, SimTime duration,
+                                    SimTime end = kNever);
+
+  /// Explicit sessions: (start, duration) pairs.
+  static IntrusionSchedule sessions(
+      std::vector<std::pair<SimTime, SimTime>> sessions);
+
+  /// Never active (placebo, for control runs).
+  static IntrusionSchedule never();
+
+  bool active(SimTime t) const;
+
+  /// Time the first session begins; kNever if none.
+  SimTime first_start() const;
+
+  /// True if some session is active anywhere in [from, to).
+  bool active_in(SimTime from, SimTime to) const;
+
+ private:
+  IntrusionSchedule() = default;
+
+  bool periodic_ = false;
+  SimTime start_ = kNever;
+  SimTime duration_ = 0;
+  SimTime end_ = kNever;
+  std::vector<std::pair<SimTime, SimTime>> sessions_;
+};
+
+}  // namespace xfa

@@ -1,0 +1,33 @@
+#include "attacks/storm.h"
+
+#include <cassert>
+
+namespace xfa {
+
+UpdateStormAttack::UpdateStormAttack(Node& node, IntrusionSchedule schedule,
+                                     const UpdateStormConfig& config)
+    : node_(node), schedule_(std::move(schedule)), config_(config) {
+  assert(config.discoveries_per_second > 0);
+  assert(config.phantom_count > 0);
+}
+
+void UpdateStormAttack::start() {
+  timer_ = std::make_unique<PeriodicTimer>(
+      node_.sim(), 1.0 / config_.discoveries_per_second, [this] { tick(); });
+  timer_->start();
+}
+
+void UpdateStormAttack::tick() {
+  if (!schedule_.active(node_.sim().now())) return;
+  const NodeId phantom =
+      config_.phantom_base + static_cast<NodeId>(next_phantom_);
+  next_phantom_ = (next_phantom_ + 1) % config_.phantom_count;
+  // One data packet toward a phantom destination = one flooded discovery
+  // (plus the protocol's retry floods). flow id 0 is never used by real
+  // traffic (generator ids start at 1).
+  node_.send_data(phantom, /*flow_id=*/0, /*seq=*/0, kControlPacketBytes,
+                  /*is_ack=*/false);
+  ++triggered_;
+}
+
+}  // namespace xfa

@@ -1,0 +1,47 @@
+// Update storm attack (paper §2.3, route-logic category): "The malicious
+// node deliberately floods the whole network with meaningless route
+// discovery messages ... to exhaust the network bandwidth and effectively
+// paralyze the network."
+//
+// Implemented by spraying data toward phantom destinations: each spray
+// triggers a genuine network-wide ROUTE REQUEST flood (plus the protocol's
+// retry floods), which is exactly a storm of meaningless route discoveries.
+#pragma once
+
+#include <memory>
+
+#include "attacks/onoff.h"
+#include "net/node.h"
+#include "sim/simulator.h"
+
+namespace xfa {
+
+struct UpdateStormConfig {
+  double discoveries_per_second = 2.0;
+  /// Phantom destination ids start here (must exceed every real node id).
+  NodeId phantom_base = 100000;
+  std::size_t phantom_count = 32;  // rotate so duplicate caches don't dampen
+};
+
+class UpdateStormAttack {
+ public:
+  UpdateStormAttack(Node& node, IntrusionSchedule schedule,
+                    const UpdateStormConfig& config = {});
+
+  void start();
+
+  std::uint64_t discoveries_triggered() const { return triggered_; }
+  const IntrusionSchedule& schedule() const { return schedule_; }
+
+ private:
+  void tick();
+
+  Node& node_;
+  IntrusionSchedule schedule_;
+  UpdateStormConfig config_;
+  std::size_t next_phantom_ = 0;
+  std::uint64_t triggered_ = 0;
+  std::unique_ptr<PeriodicTimer> timer_;
+};
+
+}  // namespace xfa

@@ -1,0 +1,84 @@
+#include "audit/audit.h"
+
+#include <cassert>
+
+namespace xfa {
+
+const char* to_string(AuditPacketType type) {
+  switch (type) {
+    case AuditPacketType::Data: return "data";
+    case AuditPacketType::RouteAll: return "route";
+    case AuditPacketType::RouteRequest: return "rreq";
+    case AuditPacketType::RouteReply: return "rrep";
+    case AuditPacketType::RouteError: return "rerr";
+    case AuditPacketType::Hello: return "hello";
+  }
+  return "?";
+}
+
+const char* to_string(FlowDirection dir) {
+  switch (dir) {
+    case FlowDirection::Received: return "recv";
+    case FlowDirection::Sent: return "sent";
+    case FlowDirection::Forwarded: return "fwd";
+    case FlowDirection::Dropped: return "drop";
+  }
+  return "?";
+}
+
+const char* to_string(RouteEventKind kind) {
+  switch (kind) {
+    case RouteEventKind::Add: return "add";
+    case RouteEventKind::Remove: return "remove";
+    case RouteEventKind::Find: return "find";
+    case RouteEventKind::Notice: return "notice";
+    case RouteEventKind::Repair: return "repair";
+  }
+  return "?";
+}
+
+void AuditLog::record_packet(SimTime t, AuditPacketType type,
+                             FlowDirection dir) {
+  // The paper's feature set excludes data x {forwarded, dropped}: data in
+  // flight at intermediate hops is always encapsulated in a route packet.
+  assert(!(type == AuditPacketType::Data &&
+           (dir == FlowDirection::Forwarded || dir == FlowDirection::Dropped)));
+  auto& stream =
+      packets_[static_cast<std::size_t>(type)][static_cast<std::size_t>(dir)];
+  assert(stream.empty() || stream.back() <= t);
+  stream.push_back(t);
+  ++total_packets_;
+  // Maintain the route(all) aggregate for specific control types.
+  if (type != AuditPacketType::Data && type != AuditPacketType::RouteAll) {
+    record_packet(t, AuditPacketType::RouteAll, dir);
+    --total_packets_;  // count the physical observation once
+  }
+}
+
+void AuditLog::record_route_event(SimTime t, RouteEventKind kind) {
+  auto& stream = route_events_[static_cast<std::size_t>(kind)];
+  assert(stream.empty() || stream.back() <= t);
+  stream.push_back(t);
+  ++total_route_events_;
+}
+
+const std::vector<SimTime>& AuditLog::packet_times(AuditPacketType type,
+                                                   FlowDirection dir) const {
+  return packets_[static_cast<std::size_t>(type)]
+                 [static_cast<std::size_t>(dir)];
+}
+
+const std::vector<SimTime>& AuditLog::route_event_times(
+    RouteEventKind kind) const {
+  return route_events_[static_cast<std::size_t>(kind)];
+}
+
+void AuditLog::clear() {
+  for (auto& by_dir : packets_)
+    for (auto& stream : by_dir) stream.clear();
+  for (auto& stream : route_events_) stream.clear();
+  total_packets_ = 0;
+  total_route_events_ = 0;
+}
+
+}  // namespace xfa

@@ -1,0 +1,152 @@
+#include "cfa/model.h"
+
+#include <cassert>
+#include <cmath>
+#include <thread>
+
+namespace xfa {
+
+void CrossFeatureModel::train(const Dataset& normal_data,
+                              const std::vector<std::size_t>& label_columns,
+                              const ClassifierFactory& factory,
+                              std::size_t threads) {
+  assert(!normal_data.rows.empty());
+  assert(!label_columns.empty());
+  label_columns_ = label_columns;
+  submodels_.clear();
+  submodels_.resize(label_columns_.size());
+
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  threads = std::min(threads, label_columns_.size());
+
+  // Worker over a strided partition of sub-model indices. Each sub-model
+  // with respect to f_i uses every other label column as input features.
+  const auto worker = [&](std::size_t start) {
+    for (std::size_t i = start; i < label_columns_.size(); i += threads) {
+      std::vector<std::size_t> features;
+      features.reserve(label_columns_.size() - 1);
+      for (const std::size_t col : label_columns_)
+        if (col != label_columns_[i]) features.push_back(col);
+      auto classifier = factory();
+      classifier->fit(normal_data, features, label_columns_[i]);
+      submodels_[i] = std::move(classifier);
+    }
+  };
+  if (threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+    for (std::thread& t : pool) t.join();
+  }
+}
+
+EventScore CrossFeatureModel::score(const std::vector<int>& row) const {
+  assert(trained());
+  EventScore score;
+  const auto count = static_cast<double>(submodels_.size());
+  for (std::size_t i = 0; i < submodels_.size(); ++i) {
+    const int truth = row[label_columns_[i]];
+    const std::vector<double> dist = submodels_[i]->predict_dist(row);
+    // Match count (Algorithm 2): does the argmax equal the true value?
+    int argmax = 0;
+    for (std::size_t v = 1; v < dist.size(); ++v)
+      if (dist[v] > dist[static_cast<std::size_t>(argmax)])
+        argmax = static_cast<int>(v);
+    if (argmax == truth) score.avg_match_count += 1.0;
+    // Probability of the true class (Algorithm 3).
+    if (truth >= 0 && static_cast<std::size_t>(truth) < dist.size())
+      score.avg_probability += dist[static_cast<std::size_t>(truth)];
+  }
+  score.avg_match_count /= count;
+  score.avg_probability /= count;
+  return score;
+}
+
+std::vector<CrossFeatureModel::SubmodelVerdict> CrossFeatureModel::explain(
+    const std::vector<int>& row) const {
+  assert(trained());
+  std::vector<SubmodelVerdict> verdicts;
+  verdicts.reserve(submodels_.size());
+  for (std::size_t i = 0; i < submodels_.size(); ++i) {
+    SubmodelVerdict verdict;
+    verdict.label_column = label_columns_[i];
+    verdict.observed = row[label_columns_[i]];
+    const std::vector<double> dist = submodels_[i]->predict_dist(row);
+    int argmax = 0;
+    for (std::size_t v = 1; v < dist.size(); ++v)
+      if (dist[v] > dist[static_cast<std::size_t>(argmax)])
+        argmax = static_cast<int>(v);
+    verdict.predicted = argmax;
+    verdict.matched = argmax == verdict.observed;
+    verdict.probability =
+        verdict.observed >= 0 &&
+                static_cast<std::size_t>(verdict.observed) < dist.size()
+            ? dist[static_cast<std::size_t>(verdict.observed)]
+            : 0.0;
+    verdicts.push_back(verdict);
+  }
+  std::sort(verdicts.begin(), verdicts.end(),
+            [](const SubmodelVerdict& a, const SubmodelVerdict& b) {
+              return a.probability < b.probability;
+            });
+  return verdicts;
+}
+
+std::vector<EventScore> CrossFeatureModel::score_all(
+    const std::vector<std::vector<int>>& rows) const {
+  std::vector<EventScore> scores;
+  scores.reserve(rows.size());
+  for (const auto& row : rows) scores.push_back(score(row));
+  return scores;
+}
+
+void CrossFeatureRegressionModel::train(
+    const std::vector<std::vector<double>>& normal_rows,
+    const std::vector<std::size_t>& label_columns) {
+  assert(!normal_rows.empty());
+  label_columns_ = label_columns;
+  submodels_.assign(label_columns_.size(), LinearRegression{});
+
+  for (std::size_t i = 0; i < label_columns_.size(); ++i) {
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    x.reserve(normal_rows.size());
+    y.reserve(normal_rows.size());
+    for (const auto& row : normal_rows) {
+      std::vector<double> features;
+      features.reserve(label_columns_.size() - 1);
+      for (const std::size_t col : label_columns_)
+        if (col != label_columns_[i]) features.push_back(row[col]);
+      x.push_back(std::move(features));
+      y.push_back(row[label_columns_[i]]);
+    }
+    submodels_[i].fit(x, y);
+  }
+}
+
+double CrossFeatureRegressionModel::mean_log_distance(
+    const std::vector<double>& row) const {
+  assert(trained());
+  double total = 0;
+  for (std::size_t i = 0; i < label_columns_.size(); ++i) {
+    std::vector<double> features;
+    features.reserve(label_columns_.size() - 1);
+    for (const std::size_t col : label_columns_)
+      if (col != label_columns_[i]) features.push_back(row[col]);
+    total += LinearRegression::log_distance(submodels_[i].predict(features),
+                                            row[label_columns_[i]]);
+  }
+  return total / static_cast<double>(label_columns_.size());
+}
+
+double CrossFeatureRegressionModel::score(
+    const std::vector<double>& row) const {
+  return std::exp(-mean_log_distance(row));
+}
+
+}  // namespace xfa

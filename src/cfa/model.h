@@ -1,0 +1,105 @@
+// Cross-feature analysis (the paper's contribution, §3).
+//
+// Training (Algorithm 1): for every feature f_i, train a sub-model
+// C_i : {f_1..f_L} \ {f_i} -> f_i on normal data only.
+//
+// Testing: apply the event to all L sub-models and combine:
+//  * average match count (Algorithm 2):  sum_i [[C_i(x) = f_i(x)]] / L
+//  * average probability (Algorithm 3):  sum_i p(f_i(x)|x) / L
+// An event is an anomaly iff the chosen score falls below the decision
+// threshold.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "features/discretize.h"
+#include "ml/dataset.h"
+#include "ml/linreg.h"
+
+namespace xfa {
+
+/// Both combined scores for one event.
+struct EventScore {
+  double avg_match_count = 0;
+  double avg_probability = 0;
+};
+
+/// Which of the two combination rules drives the anomaly decision.
+enum class ScoreKind { MatchCount, Probability };
+
+inline double pick(const EventScore& score, ScoreKind kind) {
+  return kind == ScoreKind::MatchCount ? score.avg_match_count
+                                       : score.avg_probability;
+}
+
+class CrossFeatureModel {
+ public:
+  /// Algorithm 1. `label_columns` are the features to build sub-models for
+  /// (the classifiable columns of the schema — time is excluded upstream);
+  /// each sub-model uses all the *other* label columns as its inputs.
+  /// `threads` = 0 uses the hardware concurrency.
+  void train(const Dataset& normal_data,
+             const std::vector<std::size_t>& label_columns,
+             const ClassifierFactory& factory, std::size_t threads = 0);
+
+  bool trained() const { return !submodels_.empty(); }
+  std::size_t submodel_count() const { return submodels_.size(); }
+  std::size_t label_column_of(std::size_t submodel) const {
+    return label_columns_[submodel];
+  }
+  const Classifier& submodel(std::size_t index) const {
+    return *submodels_[index];
+  }
+
+  /// Algorithms 2 and 3 for one event (computed together in one pass).
+  EventScore score(const std::vector<int>& row) const;
+
+  /// Per-sub-model verdicts for one event — the alert explanation: which
+  /// labelled features deviated from their predicted values and how
+  /// improbable the observed value was.
+  struct SubmodelVerdict {
+    std::size_t label_column = 0;
+    bool matched = false;        // Algorithm-2 contribution
+    double probability = 0;      // Algorithm-3 contribution, p(f_i(x)|x)
+    int observed = 0;
+    int predicted = 0;
+  };
+
+  /// Verdicts sorted by ascending probability (most anomalous first).
+  std::vector<SubmodelVerdict> explain(const std::vector<int>& row) const;
+
+  /// Scores every row of a trace/dataset.
+  std::vector<EventScore> score_all(
+      const std::vector<std::vector<int>>& rows) const;
+
+ private:
+  std::vector<std::size_t> label_columns_;
+  std::vector<std::unique_ptr<Classifier>> submodels_;
+};
+
+/// Continuous-feature extension (§3): one multiple-linear-regression
+/// sub-model per feature, deviation measured by |log(C_i(x)/f_i(x))|. The
+/// combined score maps mean log-distance into (0, 1] via exp(-d) so that the
+/// same "below threshold == anomaly" convention applies.
+class CrossFeatureRegressionModel {
+ public:
+  void train(const std::vector<std::vector<double>>& normal_rows,
+             const std::vector<std::size_t>& label_columns);
+
+  bool trained() const { return !submodels_.empty(); }
+  std::size_t submodel_count() const { return submodels_.size(); }
+
+  /// Mean log distance across sub-models (lower = more normal).
+  double mean_log_distance(const std::vector<double>& row) const;
+
+  /// exp(-mean_log_distance), in (0, 1]; higher = more normal.
+  double score(const std::vector<double>& row) const;
+
+ private:
+  std::vector<std::size_t> label_columns_;
+  std::vector<LinearRegression> submodels_;
+};
+
+}  // namespace xfa

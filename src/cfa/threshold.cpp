@@ -1,0 +1,28 @@
+#include "cfa/threshold.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace xfa {
+
+double select_threshold(std::vector<double> scores, double false_alarm_rate) {
+  assert(!scores.empty());
+  assert(false_alarm_rate >= 0 && false_alarm_rate < 1);
+  std::sort(scores.begin(), scores.end());
+  const auto index = static_cast<std::size_t>(
+      std::floor(false_alarm_rate * static_cast<double>(scores.size())));
+  return scores[std::min(index, scores.size() - 1)];
+}
+
+double realized_false_alarm_rate(const std::vector<double>& normal_scores,
+                                 double threshold) {
+  if (normal_scores.empty()) return 0.0;
+  std::size_t alarms = 0;
+  for (const double score : normal_scores)
+    if (score < threshold) ++alarms;
+  return static_cast<double>(alarms) /
+         static_cast<double>(normal_scores.size());
+}
+
+}  // namespace xfa

@@ -1,0 +1,21 @@
+// Decision threshold selection (paper §3): "We can determine the threshold
+// by computing average match count values on all normal events, and using a
+// lower bound of output values with certain confidence level (which is one
+// minus false alarm rate)."
+#pragma once
+
+#include <vector>
+
+namespace xfa {
+
+/// Returns the threshold theta such that approximately `false_alarm_rate` of
+/// the given normal scores fall strictly below it (the (FAR)-quantile of the
+/// normal score distribution). `scores` is taken by value and sorted.
+double select_threshold(std::vector<double> scores, double false_alarm_rate);
+
+/// Realized false alarm rate of a threshold over normal scores: the fraction
+/// classified as anomalies (score < theta).
+double realized_false_alarm_rate(const std::vector<double>& normal_scores,
+                                 double threshold);
+
+}  // namespace xfa

@@ -1,0 +1,71 @@
+#include "eval/density.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <string>
+
+namespace xfa {
+
+DensityHistogram density_histogram(const std::vector<double>& values,
+                                   std::size_t bins, double lo, double hi) {
+  assert(bins > 0 && hi > lo);
+  DensityHistogram hist;
+  hist.lo = lo;
+  hist.hi = hi;
+  const double width = (hi - lo) / static_cast<double>(bins);
+  hist.bin_centers.resize(bins);
+  hist.density.assign(bins, 0.0);
+  for (std::size_t b = 0; b < bins; ++b)
+    hist.bin_centers[b] = lo + width * (static_cast<double>(b) + 0.5);
+  if (values.empty()) return hist;
+
+  for (const double v : values) {
+    auto b = static_cast<long>((v - lo) / width);
+    b = std::clamp<long>(b, 0, static_cast<long>(bins) - 1);
+    hist.density[static_cast<std::size_t>(b)] += 1.0;
+  }
+  const double norm = static_cast<double>(values.size()) * width;
+  for (double& d : hist.density) d /= norm;
+  return hist;
+}
+
+double mass_below(const DensityHistogram& hist, double threshold) {
+  const double width =
+      (hist.hi - hist.lo) / static_cast<double>(hist.bins());
+  double mass = 0;
+  for (std::size_t b = 0; b < hist.bins(); ++b) {
+    const double bin_lo = hist.lo + width * static_cast<double>(b);
+    const double bin_hi = bin_lo + width;
+    if (bin_hi <= threshold) {
+      mass += hist.density[b] * width;
+    } else if (bin_lo < threshold) {
+      mass += hist.density[b] * (threshold - bin_lo);
+    }
+  }
+  return mass;
+}
+
+std::vector<std::string> render_ascii(const DensityHistogram& hist,
+                                      std::size_t width) {
+  double max_density = 0;
+  for (const double d : hist.density) max_density = std::max(max_density, d);
+  std::vector<std::string> lines;
+  lines.reserve(hist.bins());
+  for (std::size_t b = 0; b < hist.bins(); ++b) {
+    const auto bar_length =
+        max_density == 0
+            ? std::size_t{0}
+            : static_cast<std::size_t>(hist.density[b] / max_density *
+                                       static_cast<double>(width));
+    std::ostringstream os;
+    os.precision(3);
+    os << std::fixed << hist.bin_centers[b] << ' ';
+    os.precision(4);
+    os << hist.density[b] << ' ' << std::string(bar_length, '#');
+    lines.push_back(os.str());
+  }
+  return lines;
+}
+
+}  // namespace xfa

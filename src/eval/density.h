@@ -1,0 +1,35 @@
+// Score density distributions (paper Figures 4 and 6): histogram-based
+// density estimates of the average-probability outputs over [0, 1].
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace xfa {
+
+struct DensityHistogram {
+  std::vector<double> bin_centers;
+  std::vector<double> density;  // integrates to ~1 over [lo, hi]
+  double lo = 0, hi = 1;
+
+  std::size_t bins() const { return density.size(); }
+};
+
+/// Equal-width histogram density over [lo, hi]; out-of-range values clamp to
+/// the edge bins.
+DensityHistogram density_histogram(const std::vector<double>& values,
+                                   std::size_t bins = 25, double lo = 0.0,
+                                   double hi = 1.0);
+
+/// Mass of the density that lies strictly below `threshold` — e.g. the
+/// false-alarm mass of a normal-score density, or the detected mass of an
+/// abnormal-score density.
+double mass_below(const DensityHistogram& hist, double threshold);
+
+/// Renders the histogram as a rows of "center density bar" lines for
+/// terminal display.
+std::vector<std::string> render_ascii(const DensityHistogram& hist,
+                                      std::size_t width = 50);
+
+}  // namespace xfa

@@ -1,0 +1,87 @@
+#include "eval/pr.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace xfa {
+
+double PrCurve::area_under_curve() const {
+  if (points.size() < 2) return 0.0;
+  double area = 0;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    const double dr = points[i].recall - points[i - 1].recall;
+    area += dr * (points[i].precision + points[i - 1].precision) / 2.0;
+  }
+  return area;
+}
+
+PrPoint PrCurve::optimal_point() const {
+  assert(!points.empty());
+  const PrPoint* best = &points.front();
+  double best_distance = 1e18;
+  for (const PrPoint& point : points) {
+    const double dr = 1.0 - point.recall;
+    const double dp = 1.0 - point.precision;
+    const double distance = std::sqrt(dr * dr + dp * dp);
+    if (distance < best_distance) {
+      best_distance = distance;
+      best = &point;
+    }
+  }
+  return *best;
+}
+
+PrCurve recall_precision_curve(const std::vector<double>& scores,
+                               const std::vector<int>& labels) {
+  assert(scores.size() == labels.size());
+  PrCurve curve;
+  if (scores.empty()) return curve;
+
+  // Sort events by score ascending; sweeping the threshold upward through
+  // the sorted order flags progressively more events as alarms.
+  std::vector<std::size_t> order(scores.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] < scores[b];
+  });
+
+  std::size_t total_intrusions = 0;
+  for (const int label : labels)
+    if (label != 0) ++total_intrusions;
+  if (total_intrusions == 0) return curve;
+
+  std::size_t tp = 0, fp = 0;
+  const auto emit = [&](double threshold) {
+    PrPoint point;
+    point.threshold = threshold;
+    point.true_positives = tp;
+    point.false_positives = fp;
+    point.false_negatives = total_intrusions - tp;
+    point.recall =
+        static_cast<double>(tp) / static_cast<double>(total_intrusions);
+    point.precision = (tp + fp) == 0
+                          ? 1.0
+                          : static_cast<double>(tp) /
+                                static_cast<double>(tp + fp);
+    curve.points.push_back(point);
+  };
+
+  emit(-1e18);  // threshold below everything: no alarms at all
+  std::size_t i = 0;
+  while (i < order.size()) {
+    const double value = scores[order[i]];
+    // Advance through the whole tie group: threshold just above `value`.
+    while (i < order.size() && scores[order[i]] == value) {
+      if (labels[order[i]] != 0)
+        ++tp;
+      else
+        ++fp;
+      ++i;
+    }
+    emit(std::nextafter(value, 1e18));
+  }
+  return curve;
+}
+
+}  // namespace xfa

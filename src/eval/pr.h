@@ -1,0 +1,41 @@
+// Recall-precision evaluation (paper §4.2): operating points swept over the
+// decision threshold, the Area-Under-Curve accuracy measure relative to the
+// random-guess diagonal, and the simplified optimal-point criterion
+// ("optimal point occurs with the closest distance to (1,1)").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace xfa {
+
+struct PrPoint {
+  double threshold = 0;
+  double recall = 0;     // p(alarm | intrusion)
+  double precision = 0;  // p(intrusion | alarm)
+  std::size_t true_positives = 0;
+  std::size_t false_positives = 0;
+  std::size_t false_negatives = 0;
+};
+
+struct PrCurve {
+  std::vector<PrPoint> points;  // ascending recall
+
+  /// Area between the curve and the recall axis, trapezoidal over recall.
+  double area_under_curve() const;
+
+  /// AUC minus the 0.5 of the random-guess diagonal (paper's accuracy
+  /// comparison measure).
+  double area_above_diagonal() const { return area_under_curve() - 0.5; }
+
+  /// The point closest (Euclidean) to perfect (recall, precision) = (1, 1).
+  PrPoint optimal_point() const;
+};
+
+/// Builds the curve from anomaly scores (higher = more normal; an event is
+/// an alarm when score < threshold) and binary ground truth (1 = intrusion).
+/// One operating point per distinct score value, plus the extremes.
+PrCurve recall_precision_curve(const std::vector<double>& scores,
+                               const std::vector<int>& labels);
+
+}  // namespace xfa

@@ -1,0 +1,55 @@
+#include "eval/series.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xfa {
+
+TimeSeries average_series(const std::vector<TimeSeries>& series) {
+  TimeSeries out;
+  if (series.empty()) return out;
+  std::size_t longest = 0;
+  for (const TimeSeries& s : series) longest = std::max(longest, s.size());
+  out.times.resize(longest);
+  out.values.assign(longest, 0.0);
+  std::vector<std::size_t> contributors(longest, 0);
+  for (const TimeSeries& s : series) {
+    assert(s.times.size() == s.values.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      out.times[i] = s.times[i];
+      out.values[i] += s.values[i];
+      ++contributors[i];
+    }
+  }
+  for (std::size_t i = 0; i < longest; ++i)
+    out.values[i] /= static_cast<double>(contributors[i]);
+  return out;
+}
+
+TimeSeries downsample(const TimeSeries& series, SimTime window) {
+  assert(window > 0);
+  TimeSeries out;
+  if (series.size() == 0) return out;
+  SimTime window_end = window;
+  double sum = 0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    while (series.times[i] > window_end && count > 0) {
+      out.times.push_back(window_end);
+      out.values.push_back(sum / static_cast<double>(count));
+      sum = 0;
+      count = 0;
+      window_end += window;
+    }
+    while (series.times[i] > window_end) window_end += window;
+    sum += series.values[i];
+    ++count;
+  }
+  if (count > 0) {
+    out.times.push_back(window_end);
+    out.values.push_back(sum / static_cast<double>(count));
+  }
+  return out;
+}
+
+}  // namespace xfa

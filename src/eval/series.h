@@ -1,0 +1,28 @@
+// Time-series aggregation for Figures 3 and 5: "Since multiple traces have
+// been studied in each test condition, we use the averaged outcome of the
+// same test condition in the figures."
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace xfa {
+
+struct TimeSeries {
+  std::vector<SimTime> times;
+  std::vector<double> values;
+
+  std::size_t size() const { return values.size(); }
+};
+
+/// Point-wise average of several equally-timed series (trailing points of
+/// longer series are averaged over however many series still have data).
+TimeSeries average_series(const std::vector<TimeSeries>& series);
+
+/// Coarsens a series by averaging consecutive windows of `window` seconds —
+/// used to print a readable number of rows for a 10,000-second run.
+TimeSeries downsample(const TimeSeries& series, SimTime window);
+
+}  // namespace xfa

@@ -1,0 +1,93 @@
+#include "features/discretize.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/rng.h"
+
+namespace xfa {
+
+void EqualFrequencyDiscretizer::fit(
+    const std::vector<std::vector<double>>& rows, std::size_t max_fit_rows,
+    std::uint64_t seed) {
+  assert(!rows.empty());
+  assert(buckets_ >= 2);
+
+  // Optional pre-filtering subset.
+  std::vector<const std::vector<double>*> sample;
+  sample.reserve(rows.size());
+  for (const auto& row : rows) sample.push_back(&row);
+  if (max_fit_rows != 0 && sample.size() > max_fit_rows) {
+    Rng rng(seed);
+    for (std::size_t i = 0; i < max_fit_rows; ++i) {
+      const std::size_t j =
+          i + static_cast<std::size_t>(rng.uniform_int(sample.size() - i));
+      std::swap(sample[i], sample[j]);
+    }
+    sample.resize(max_fit_rows);
+  }
+
+  const std::size_t columns = rows.front().size();
+  boundaries_.assign(columns, {});
+  std::vector<double> values(sample.size());
+  for (std::size_t c = 0; c < columns; ++c) {
+    for (std::size_t r = 0; r < sample.size(); ++r)
+      values[r] = (*sample[r])[c];
+    std::sort(values.begin(), values.end());
+
+    // Cut points at the 1/b, 2/b, ... quantiles; duplicates merge (a column
+    // dominated by one value, e.g. all zeros, ends up with fewer buckets).
+    std::vector<double>& cuts = boundaries_[c];
+    for (int b = 1; b < buckets_; ++b) {
+      const std::size_t idx =
+          std::min(values.size() - 1,
+                   static_cast<std::size_t>(values.size() *
+                                            static_cast<double>(b) /
+                                            static_cast<double>(buckets_)));
+      const double cut = values[idx];
+      // The first cut is always kept (even a cut at the minimum separates
+      // "minimum" from "above minimum" — important for mostly-zero count
+      // features whose bursts are the attack signal). Later cuts must clear
+      // the relative-gap guard.
+      const double required_gap =
+          cuts.empty() ? 0.0
+                       : min_relative_gap_ * std::max(std::abs(cut),
+                                                      std::abs(cuts.back()));
+      if (cuts.empty() || cut > cuts.back() + required_gap)
+        cuts.push_back(cut);
+    }
+    // A cut at the column maximum adds no information; drop it so constant
+    // columns yield a single bucket.
+    if (!cuts.empty() && cuts.back() >= values.back()) cuts.pop_back();
+  }
+}
+
+int EqualFrequencyDiscretizer::transform_value(std::size_t column,
+                                               double value) const {
+  assert(column < boundaries_.size());
+  const std::vector<double>& cuts = boundaries_[column];
+  const auto it = std::lower_bound(cuts.begin(), cuts.end(), value);
+  return static_cast<int>(it - cuts.begin());
+}
+
+DiscreteTrace EqualFrequencyDiscretizer::transform(
+    const RawTrace& trace) const {
+  assert(fitted());
+  DiscreteTrace out;
+  out.times = trace.times;
+  out.labels = trace.labels;
+  out.cardinality.resize(boundaries_.size());
+  for (std::size_t c = 0; c < boundaries_.size(); ++c)
+    out.cardinality[c] = cardinality(c);
+  out.rows.reserve(trace.rows.size());
+  for (const auto& row : trace.rows) {
+    assert(row.size() == boundaries_.size());
+    std::vector<int> discrete(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c)
+      discrete[c] = transform_value(c, row[c]);
+    out.rows.push_back(std::move(discrete));
+  }
+  return out;
+}
+
+}  // namespace xfa

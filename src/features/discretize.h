@@ -1,0 +1,68 @@
+// Equal-frequency ("frequency bucket") discretization, paper §4.1:
+// "We divide the value space of a continuous feature into a fixed number of
+// continuous ranges (buckets), so that the frequencies of occurrences of
+// feature values dropped in all buckets are equal... In our experiments, we
+// choose the bucket number to be 5."
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "features/extract.h"
+
+namespace xfa {
+
+/// Discrete event matrix ready for the classifiers: every cell is a bucket
+/// index in [0, cardinality(column)).
+struct DiscreteTrace {
+  std::vector<SimTime> times;
+  std::vector<std::vector<int>> rows;
+  std::vector<int> labels;
+  std::vector<int> cardinality;  // per column
+
+  std::size_t size() const { return rows.size(); }
+  std::size_t columns() const { return cardinality.size(); }
+};
+
+class EqualFrequencyDiscretizer {
+ public:
+  /// `min_relative_gap`: a cut point is kept only if it exceeds the previous
+  /// one by this relative margin. Quantile cuts through a tightly clustered
+  /// value mass (e.g. an inter-packet stddev that is near-constant up to
+  /// per-run jitter) otherwise turn measurement noise into bucket noise;
+  /// collapsing such cuts makes those features coarse-but-stable, which is
+  /// what cross-trace generalization needs. 0 disables the guard.
+  explicit EqualFrequencyDiscretizer(int buckets = 5,
+                                     double min_relative_gap = 0.25)
+      : buckets_(buckets), min_relative_gap_(min_relative_gap) {}
+
+  /// Learns per-column bucket boundaries from (a random subset of) normal
+  /// training rows. `max_fit_rows` implements the paper's "pre-filtering
+  /// process using a small random subset" (0 = use everything).
+  void fit(const std::vector<std::vector<double>>& rows,
+           std::size_t max_fit_rows = 0, std::uint64_t seed = 7);
+
+  bool fitted() const { return !boundaries_.empty(); }
+
+  /// Maps a value of `column` to its bucket index.
+  int transform_value(std::size_t column, double value) const;
+
+  /// Applies the fitted mapping to a whole trace.
+  DiscreteTrace transform(const RawTrace& trace) const;
+
+  /// Effective number of buckets for a column (ties can merge buckets).
+  int cardinality(std::size_t column) const {
+    return static_cast<int>(boundaries_[column].size()) + 1;
+  }
+
+  int requested_buckets() const { return buckets_; }
+  double min_relative_gap() const { return min_relative_gap_; }
+
+ private:
+  int buckets_;
+  double min_relative_gap_;
+  // boundaries_[c] holds ascending cut points; value <= cut[i] -> bucket i.
+  std::vector<std::vector<double>> boundaries_;
+};
+
+}  // namespace xfa

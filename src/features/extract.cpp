@@ -1,0 +1,100 @@
+#include "features/extract.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+
+namespace xfa {
+
+std::size_t count_in_window(const std::vector<SimTime>& times, SimTime t,
+                            SimTime period) {
+  const auto lo = std::upper_bound(times.begin(), times.end(), t - period);
+  const auto hi = std::upper_bound(times.begin(), times.end(), t);
+  return static_cast<std::size_t>(hi - lo);
+}
+
+double iat_stddev_in_window(const std::vector<SimTime>& times, SimTime t,
+                            SimTime period) {
+  const auto lo = std::upper_bound(times.begin(), times.end(), t - period);
+  const auto hi = std::upper_bound(times.begin(), times.end(), t);
+  const auto n = static_cast<std::size_t>(hi - lo);
+  if (n < 3) return 0.0;  // fewer than two intervals
+  double sum = 0, sum_sq = 0;
+  for (auto it = lo + 1; it != hi; ++it) {
+    const double d = *it - *(it - 1);
+    sum += d;
+    sum_sq += d * d;
+  }
+  const double m = static_cast<double>(n - 1);
+  const double mean = sum / m;
+  const double var = std::max(0.0, sum_sq / m - mean * mean);
+  return std::sqrt(var);
+}
+
+FeatureExtractor::FeatureExtractor(const FeatureSchema& schema,
+                                   SimTime sample_interval)
+    : schema_(schema), interval_(sample_interval) {
+  assert(sample_interval > 0);
+}
+
+std::size_t FeatureExtractor::sample_count(SimTime duration) const {
+  return static_cast<std::size_t>(duration / interval_ + 1e-9);
+}
+
+RawTrace FeatureExtractor::extract(const AuditLog& audit,
+                                   const SampledNodeState& state,
+                                   SimTime duration) const {
+  const std::size_t samples = sample_count(duration);
+  assert(state.velocity.size() >= samples);
+  assert(state.average_route_len.size() >= samples);
+
+  RawTrace trace;
+  trace.times.reserve(samples);
+  trace.rows.reserve(samples);
+
+  // Sliding two-pointer cursors for the route-event counters (all use the
+  // sampling interval itself as the window, per Table 4's 5-second logging).
+  struct Cursor {
+    std::size_t lo = 0, hi = 0;
+  };
+  std::array<Cursor, kRouteEventKindCount> route_cursors;
+
+  for (std::size_t i = 0; i < samples; ++i) {
+    const SimTime t = interval_ * static_cast<double>(i + 1);
+    trace.times.push_back(t);
+    std::vector<double> row(schema_.size(), 0.0);
+
+    row[schema_.time_column()] = t;
+    row[schema_.velocity_column()] = state.velocity[i];
+    row[schema_.average_route_length_column()] = state.average_route_len[i];
+
+    double total_change = 0;
+    for (std::size_t k = 0; k < kRouteEventKindCount; ++k) {
+      const auto kind = static_cast<RouteEventKind>(k);
+      const auto& times = audit.route_event_times(kind);
+      Cursor& cursor = route_cursors[k];
+      while (cursor.hi < times.size() && times[cursor.hi] <= t) ++cursor.hi;
+      while (cursor.lo < cursor.hi && times[cursor.lo] <= t - interval_)
+        ++cursor.lo;
+      const auto count = static_cast<double>(cursor.hi - cursor.lo);
+      row[schema_.route_event_column(kind)] = count;
+      if (kind == RouteEventKind::Add || kind == RouteEventKind::Remove)
+        total_change += count;
+    }
+    row[schema_.total_route_change_column()] = total_change;
+
+    std::size_t column = schema_.traffic_base_column();
+    for (const TrafficFeatureSpec& spec : schema_.traffic_specs()) {
+      const auto& times = audit.packet_times(spec.type, spec.dir);
+      row[column++] =
+          spec.stat == TrafficStat::Count
+              ? static_cast<double>(count_in_window(times, t, spec.period))
+              : iat_stddev_in_window(times, t, spec.period);
+    }
+    trace.rows.push_back(std::move(row));
+  }
+  return trace;
+}
+
+}  // namespace xfa

@@ -1,0 +1,64 @@
+// Feature extraction: turns a node's audit log into the paper's per-5-second
+// feature vectors ("route statistics logged every 5 seconds").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "audit/audit.h"
+#include "features/schema.h"
+#include "sim/types.h"
+
+namespace xfa {
+
+/// A continuous (pre-discretization) feature matrix: one row per sampling
+/// instant, columns per FeatureSchema.
+struct RawTrace {
+  std::vector<SimTime> times;         // sampling instants
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;            // 0 = normal, 1 = intrusion (ground truth)
+
+  std::size_t size() const { return rows.size(); }
+};
+
+/// Per-sample quantities only the live simulation can provide; the scenario
+/// runner records them while the run executes.
+struct SampledNodeState {
+  std::vector<double> velocity;           // m/s at each sampling instant
+  std::vector<double> average_route_len;  // over the route table / cache
+};
+
+class FeatureExtractor {
+ public:
+  FeatureExtractor(const FeatureSchema& schema, SimTime sample_interval = 5.0);
+
+  /// Builds the feature matrix for one node over [first_sample, duration].
+  /// `state.velocity/average_route_len` must have one entry per sampling
+  /// instant. Labels are left empty (filled by the caller).
+  RawTrace extract(const AuditLog& audit, const SampledNodeState& state,
+                   SimTime duration) const;
+
+  SimTime sample_interval() const { return interval_; }
+  const FeatureSchema& schema() const { return schema_; }
+
+  /// Number of sampling instants for a run of `duration` seconds: samples at
+  /// interval, 2*interval, ..., duration.
+  std::size_t sample_count(SimTime duration) const;
+
+ private:
+  const FeatureSchema& schema_;
+  SimTime interval_;
+};
+
+/// Standalone helpers (exposed for unit testing).
+
+/// Number of events with timestamp in (t - period, t].
+std::size_t count_in_window(const std::vector<SimTime>& times, SimTime t,
+                            SimTime period);
+
+/// Population standard deviation of the inter-event intervals among events
+/// with timestamps in (t - period, t]. Zero when fewer than two intervals.
+double iat_stddev_in_window(const std::vector<SimTime>& times, SimTime t,
+                            SimTime period);
+
+}  // namespace xfa

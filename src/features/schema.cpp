@@ -1,0 +1,81 @@
+#include "features/schema.h"
+
+#include <sstream>
+
+namespace xfa {
+
+const char* to_string(TrafficStat stat) {
+  switch (stat) {
+    case TrafficStat::Count: return "count";
+    case TrafficStat::IatStdDev: return "iat_stddev";
+  }
+  return "?";
+}
+
+std::string TrafficFeatureSpec::name() const {
+  std::ostringstream os;
+  os << to_string(type) << '_' << to_string(dir) << '_'
+     << static_cast<long long>(period) << "s_" << to_string(stat);
+  return os.str();
+}
+
+std::string TrafficFeatureSpec::encode() const {
+  // Period index depends on the standard period list {5, 60, 900}.
+  int period_index = period == 5.0 ? 0 : period == 60.0 ? 1 : 2;
+  std::ostringstream os;
+  os << '<' << static_cast<int>(type) << ',' << static_cast<int>(dir) << ','
+     << period_index << ',' << static_cast<int>(stat) << '>';
+  return os.str();
+}
+
+FeatureSchema FeatureSchema::standard() {
+  return with_periods({5.0, 60.0, 900.0});
+}
+
+FeatureSchema FeatureSchema::with_periods(
+    const std::vector<SimTime>& periods) {
+  FeatureSchema schema;
+  schema.names_ = {
+      "time",                 // reference only, never classified
+      "absolute_velocity",    // from the mobility trace
+      "route_add_count",      // routes newly added by route discovery
+      "route_removal_count",  // stale routes being removed
+      "route_find_count",     // routes found in cache, no re-discovery
+      "route_notice_count",   // routes eavesdropped from somewhere else
+      "route_repair_count",   // broken routes currently under repair
+      "total_route_change",   // adds + removals
+      "average_route_length",
+  };
+  for (std::size_t t = 0; t < kAuditPacketTypeCount; ++t) {
+    for (std::size_t d = 0; d < kFlowDirectionCount; ++d) {
+      const auto type = static_cast<AuditPacketType>(t);
+      const auto dir = static_cast<FlowDirection>(d);
+      // The paper excludes data x {forwarded, dropped}: in-flight data is
+      // always wrapped in a route packet.
+      if (type == AuditPacketType::Data &&
+          (dir == FlowDirection::Forwarded || dir == FlowDirection::Dropped))
+        continue;
+      for (const SimTime period : periods) {
+        for (std::size_t s = 0; s < kTrafficStatCount; ++s) {
+          TrafficFeatureSpec spec;
+          spec.type = type;
+          spec.dir = dir;
+          spec.period = period;
+          spec.stat = static_cast<TrafficStat>(s);
+          schema.names_.push_back(spec.name());
+          schema.traffic_.push_back(spec);
+        }
+      }
+    }
+  }
+  return schema;
+}
+
+std::vector<std::size_t> FeatureSchema::classifiable_columns() const {
+  std::vector<std::size_t> columns;
+  columns.reserve(size() - 1);
+  for (std::size_t c = 1; c < size(); ++c) columns.push_back(c);
+  return columns;
+}
+
+}  // namespace xfa

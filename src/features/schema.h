@@ -1,0 +1,83 @@
+// Feature schema: Feature Set I (topology/route, Table 4) + Feature Set II
+// (traffic, Table 5).
+//
+// Set II is generated from the four dimensions of Table 5:
+//   packet type x flow direction x sampling period x statistics measure,
+// excluding data x {forwarded, dropped}, giving (6*4-2)*3*2 = 132 features.
+// Set I contributes time (reference only, excluded from classification),
+// absolute velocity, five route-event counters, total route change and
+// average route length.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "audit/audit.h"
+#include "sim/types.h"
+
+namespace xfa {
+
+/// The two statistics measures of Table 5.
+enum class TrafficStat : std::uint8_t {
+  Count = 0,         // packet count in the sampling period
+  IatStdDev = 1,     // standard deviation of inter-packet intervals
+};
+inline constexpr std::size_t kTrafficStatCount = 2;
+
+const char* to_string(TrafficStat stat);
+
+/// One generated Set-II feature: a <packet type, flow direction, sampling
+/// period, statistics measure> tuple (the paper's 4-dimensional encoding).
+struct TrafficFeatureSpec {
+  AuditPacketType type = AuditPacketType::Data;
+  FlowDirection dir = FlowDirection::Received;
+  SimTime period = 5.0;
+  TrafficStat stat = TrafficStat::Count;
+
+  std::string name() const;
+  /// The paper's vector encoding, e.g. <2,0,0,1> for "stddev of inter-packet
+  /// intervals of received RREQs every 5 seconds".
+  std::string encode() const;
+};
+
+/// Column layout of a feature vector.
+class FeatureSchema {
+ public:
+  /// The paper's exact feature set: sampling periods {5, 60, 900} s.
+  static FeatureSchema standard();
+
+  /// Feature set restricted to a subset of sampling periods (ablation B).
+  static FeatureSchema with_periods(const std::vector<SimTime>& periods);
+
+  std::size_t size() const { return names_.size(); }
+  const std::vector<std::string>& names() const { return names_; }
+  const std::string& name(std::size_t column) const { return names_[column]; }
+
+  // --- Set I column indices -------------------------------------------
+  std::size_t time_column() const { return 0; }
+  std::size_t velocity_column() const { return 1; }
+  /// Column of the counter for one route-event kind.
+  std::size_t route_event_column(RouteEventKind kind) const {
+    return 2 + static_cast<std::size_t>(kind);
+  }
+  std::size_t total_route_change_column() const { return 7; }
+  std::size_t average_route_length_column() const { return 8; }
+
+  // --- Set II -----------------------------------------------------------
+  std::size_t traffic_base_column() const { return 9; }
+  const std::vector<TrafficFeatureSpec>& traffic_specs() const {
+    return traffic_;
+  }
+
+  /// Columns usable as classifier features/labels (everything except time).
+  std::vector<std::size_t> classifiable_columns() const;
+
+ private:
+  FeatureSchema() = default;
+
+  std::vector<std::string> names_;
+  std::vector<TrafficFeatureSpec> traffic_;
+};
+
+}  // namespace xfa

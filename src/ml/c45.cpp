@@ -1,0 +1,261 @@
+#include "ml/c45.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <string>
+
+namespace xfa {
+namespace {
+
+double entropy(const std::vector<double>& counts, double total) {
+  if (total <= 0) return 0.0;
+  double h = 0;
+  for (const double c : counts) {
+    if (c > 0) {
+      const double p = c / total;
+      h -= p * std::log2(p);
+    }
+  }
+  return h;
+}
+
+/// Upper confidence bound on the error rate of a leaf that misclassifies
+/// `errors` of `n` examples (Quinlan's pessimistic estimate; normal
+/// approximation to the binomial upper limit with confidence CF).
+double pessimistic_errors(double n, double errors, double cf) {
+  if (n <= 0) return 0.0;
+  // z for the one-sided upper bound at confidence cf (cf=0.25 -> z~0.6745).
+  // Inverse normal CDF via Acklam-lite rational approximation is overkill;
+  // for the CF range C4.5 uses (0.05..0.5) a small table + interpolation is
+  // plenty and keeps this dependency-free.
+  static constexpr struct {
+    double cf, z;
+  } kTable[] = {{0.05, 1.6449}, {0.10, 1.2816}, {0.20, 0.8416},
+                {0.25, 0.6745}, {0.33, 0.4399}, {0.50, 0.0}};
+  double z = 0.6745;
+  for (std::size_t i = 1; i < std::size(kTable); ++i) {
+    if (cf <= kTable[i].cf) {
+      const auto& a = kTable[i - 1];
+      const auto& b = kTable[i];
+      const double frac = (cf - a.cf) / (b.cf - a.cf);
+      z = a.z + frac * (b.z - a.z);
+      break;
+    }
+  }
+  const double f = errors / n;
+  const double z2 = z * z;
+  const double bound =
+      (f + z2 / (2 * n) + z * std::sqrt(f / n - f * f / n + z2 / (4 * n * n))) /
+      (1 + z2 / n);
+  return bound * n;
+}
+
+}  // namespace
+
+C45::C45(const C45Config& config) : config_(config) {}
+
+void C45::fit(const Dataset& data,
+              const std::vector<std::size_t>& feature_columns,
+              std::size_t label_column) {
+  assert(!data.rows.empty());
+  assert(label_column < data.columns());
+  label_cardinality_ = data.cardinality[label_column];
+
+  std::vector<std::size_t> all_rows(data.size());
+  for (std::size_t i = 0; i < all_rows.size(); ++i) all_rows[i] = i;
+  root_ = build(data, all_rows, feature_columns, label_column);
+  if (config_.prune) prune_node(*root_);
+}
+
+std::unique_ptr<C45::TreeNode> C45::build(
+    const Dataset& data, const std::vector<std::size_t>& rows,
+    std::vector<std::size_t> available, std::size_t label_column) {
+  auto node = std::make_unique<TreeNode>();
+  node->class_counts.assign(static_cast<std::size_t>(label_cardinality_), 0.0);
+  for (const std::size_t r : rows)
+    node->class_counts[static_cast<std::size_t>(
+        data.rows[r][label_column])] += 1.0;
+
+  const double total = static_cast<double>(rows.size());
+  const double node_entropy = entropy(node->class_counts, total);
+  const bool pure = std::count_if(node->class_counts.begin(),
+                                  node->class_counts.end(),
+                                  [](double c) { return c > 0; }) <= 1;
+  if (pure || available.empty() || rows.size() < config_.min_split_samples)
+    return node;
+
+  // Evaluate every candidate attribute: information gain and split info.
+  struct Candidate {
+    std::size_t column = 0;
+    double gain = 0;
+    double ratio = 0;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(available.size());
+  for (const std::size_t col : available) {
+    const auto values = static_cast<std::size_t>(data.cardinality[col]);
+    if (values < 2) continue;
+    std::vector<std::vector<double>> partition_counts(
+        values,
+        std::vector<double>(static_cast<std::size_t>(label_cardinality_), 0));
+    std::vector<double> partition_totals(values, 0);
+    for (const std::size_t r : rows) {
+      const auto v = static_cast<std::size_t>(data.rows[r][col]);
+      partition_counts[v][static_cast<std::size_t>(
+          data.rows[r][label_column])] += 1.0;
+      partition_totals[v] += 1.0;
+    }
+    double conditional = 0, split_info = 0;
+    std::size_t non_empty = 0;
+    for (std::size_t v = 0; v < values; ++v) {
+      if (partition_totals[v] <= 0) continue;
+      ++non_empty;
+      const double weight = partition_totals[v] / total;
+      conditional += weight * entropy(partition_counts[v], partition_totals[v]);
+      split_info -= weight * std::log2(weight);
+    }
+    if (non_empty < 2 || split_info <= 0) continue;
+    Candidate c;
+    c.column = col;
+    c.gain = node_entropy - conditional;
+    c.ratio = c.gain / split_info;
+    if (c.gain > 1e-12) candidates.push_back(c);
+  }
+  if (candidates.empty()) return node;
+
+  // C4.5's admissibility rule: choose the best gain *ratio* among attributes
+  // whose gain is at least the average gain of all candidates.
+  double avg_gain = 0;
+  for (const Candidate& c : candidates) avg_gain += c.gain;
+  avg_gain /= static_cast<double>(candidates.size());
+  const Candidate* best = nullptr;
+  for (const Candidate& c : candidates) {
+    if (c.gain + 1e-12 >= avg_gain && (best == nullptr || c.ratio > best->ratio))
+      best = &c;
+  }
+  if (best == nullptr) return node;
+
+  node->split_column = best->column;
+  std::vector<std::size_t> remaining;
+  remaining.reserve(available.size() - 1);
+  for (const std::size_t col : available)
+    if (col != best->column) remaining.push_back(col);
+
+  const auto values = static_cast<std::size_t>(
+      data.cardinality[best->column]);
+  std::vector<std::vector<std::size_t>> partitions(values);
+  for (const std::size_t r : rows)
+    partitions[static_cast<std::size_t>(data.rows[r][best->column])]
+        .push_back(r);
+
+  node->children.resize(values);
+  for (std::size_t v = 0; v < values; ++v) {
+    if (partitions[v].empty()) {
+      // Empty branch: a leaf inheriting the parent distribution.
+      auto leaf = std::make_unique<TreeNode>();
+      leaf->class_counts = node->class_counts;
+      node->children[v] = std::move(leaf);
+    } else {
+      node->children[v] =
+          build(data, partitions[v], remaining, label_column);
+    }
+  }
+  return node;
+}
+
+double C45::prune_node(TreeNode& node) {
+  double total = 0, best = 0;
+  for (const double c : node.class_counts) {
+    total += c;
+    best = std::max(best, c);
+  }
+  const double leaf_errors =
+      pessimistic_errors(total, total - best, config_.prune_confidence);
+  if (node.children.empty()) return leaf_errors;
+
+  double subtree_errors = 0;
+  for (const auto& child : node.children)
+    subtree_errors += prune_node(*child);
+
+  if (leaf_errors <= subtree_errors + 0.1) {
+    // Replace the subtree with a leaf.
+    node.children.clear();
+    return leaf_errors;
+  }
+  return subtree_errors;
+}
+
+const C45::TreeNode* C45::walk(const std::vector<int>& row) const {
+  assert(root_ != nullptr && "predict before fit");
+  const TreeNode* node = root_.get();
+  while (!node->children.empty()) {
+    const auto v = static_cast<std::size_t>(row[node->split_column]);
+    if (v >= node->children.size()) break;  // unseen value: stop here
+    node = node->children[v].get();
+  }
+  return node;
+}
+
+std::vector<double> C45::predict_dist(const std::vector<int>& row) const {
+  return laplace_distribution(walk(row)->class_counts);
+}
+
+std::size_t C45::node_count() const {
+  std::size_t count = 0;
+  const std::function<void(const TreeNode&)> visit =
+      [&](const TreeNode& node) {
+        ++count;
+        for (const auto& child : node.children) visit(*child);
+      };
+  if (root_) visit(*root_);
+  return count;
+}
+
+std::string C45::describe(
+    const std::vector<std::string>& feature_names) const {
+  std::string out;
+  const auto name_of = [&](std::size_t column) -> std::string {
+    return column < feature_names.size() ? feature_names[column]
+                                         : "f" + std::to_string(column);
+  };
+  const std::function<void(const TreeNode&, int)> visit =
+      [&](const TreeNode& node, int indent) {
+        if (node.children.empty()) {
+          double total = 0, best = 0;
+          std::size_t best_class = 0;
+          for (std::size_t v = 0; v < node.class_counts.size(); ++v) {
+            total += node.class_counts[v];
+            if (node.class_counts[v] > best) {
+              best = node.class_counts[v];
+              best_class = v;
+            }
+          }
+          out += "-> class " + std::to_string(best_class) + "  (" +
+                 std::to_string(static_cast<long>(best)) + "/" +
+                 std::to_string(static_cast<long>(total)) + ")\n";
+          return;
+        }
+        out += "split on " + name_of(node.split_column) + "\n";
+        for (std::size_t v = 0; v < node.children.size(); ++v) {
+          out.append(static_cast<std::size_t>(indent + 2), ' ');
+          out += "= " + std::to_string(v) + ": ";
+          visit(*node.children[v], indent + 2);
+        }
+      };
+  if (root_) visit(*root_, 0);
+  return out;
+}
+
+std::size_t C45::depth() const {
+  const std::function<std::size_t(const TreeNode&)> visit =
+      [&](const TreeNode& node) -> std::size_t {
+    std::size_t deepest = 0;
+    for (const auto& child : node.children)
+      deepest = std::max(deepest, visit(*child));
+    return deepest + 1;
+  };
+  return root_ ? visit(*root_) : 0;
+}
+
+}  // namespace xfa

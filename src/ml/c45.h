@@ -1,0 +1,62 @@
+// C4.5 decision tree (Quinlan 1993): multiway nominal splits chosen by gain
+// ratio with the average-gain admissibility heuristic, and pessimistic
+// (confidence-bound) subtree-replacement pruning.
+//
+// Leaf probabilities follow the paper §3: "Suppose that n is the total number
+// of examples in a leaf node and n_i is the number of examples with class
+// label l_i in the same leaf. p(l_i|x) = n_i / n" (we Laplace-smooth so no
+// class is ever impossible).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace xfa {
+
+struct C45Config {
+  std::size_t min_split_samples = 4;  // don't split smaller nodes
+  double prune_confidence = 0.25;     // Quinlan's CF default
+  bool prune = true;
+};
+
+class C45 final : public Classifier {
+ public:
+  explicit C45(const C45Config& config = {});
+
+  void fit(const Dataset& data,
+           const std::vector<std::size_t>& feature_columns,
+           std::size_t label_column) override;
+  std::vector<double> predict_dist(const std::vector<int>& row) const override;
+  const char* name() const override { return "C4.5"; }
+
+  std::size_t node_count() const;
+  std::size_t depth() const;
+
+  /// Indented if/then rendering of the tree.
+  std::string describe(
+      const std::vector<std::string>& feature_names) const override;
+
+ private:
+  struct TreeNode {
+    // Leaf when children is empty.
+    std::vector<double> class_counts;  // training distribution at this node
+    std::size_t split_column = 0;      // valid for internal nodes
+    std::vector<std::unique_ptr<TreeNode>> children;  // per attribute value
+  };
+
+  std::unique_ptr<TreeNode> build(const Dataset& data,
+                                  const std::vector<std::size_t>& rows,
+                                  std::vector<std::size_t> available,
+                                  std::size_t label_column);
+  /// Pessimistic-error pruning; returns the subtree's estimated error count.
+  double prune_node(TreeNode& node);
+  const TreeNode* walk(const std::vector<int>& row) const;
+
+  C45Config config_;
+  std::unique_ptr<TreeNode> root_;
+  int label_cardinality_ = 0;
+};
+
+}  // namespace xfa

@@ -1,0 +1,49 @@
+#include "ml/dataset.h"
+
+#include <cassert>
+
+namespace xfa {
+
+bool Dataset::valid() const {
+  for (const auto& row : rows) {
+    if (row.size() != cardinality.size()) {
+      assert(false && "row width mismatch");
+      return false;
+    }
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (row[c] < 0 || row[c] >= cardinality[c]) {
+        assert(false && "value out of cardinality range");
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+int Classifier::predict(const std::vector<int>& row) const {
+  const std::vector<double> dist = predict_dist(row);
+  int best = 0;
+  for (std::size_t v = 1; v < dist.size(); ++v)
+    if (dist[v] > dist[best]) best = static_cast<int>(v);
+  return best;
+}
+
+double Classifier::probability_of(const std::vector<int>& row,
+                                  int class_value) const {
+  const std::vector<double> dist = predict_dist(row);
+  if (class_value < 0 || static_cast<std::size_t>(class_value) >= dist.size())
+    return 0.0;
+  return dist[static_cast<std::size_t>(class_value)];
+}
+
+std::vector<double> laplace_distribution(const std::vector<double>& counts) {
+  std::vector<double> dist(counts.size());
+  double total = 0;
+  for (const double c : counts) total += c;
+  const double denominator = total + static_cast<double>(counts.size());
+  for (std::size_t v = 0; v < counts.size(); ++v)
+    dist[v] = (counts[v] + 1.0) / denominator;
+  return dist;
+}
+
+}  // namespace xfa

@@ -1,0 +1,72 @@
+// Discrete dataset and the classifier interface shared by C4.5, RIPPER and
+// the naive Bayes classifier.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace xfa {
+
+/// A table of nominal (bucket-indexed) values. Every classifier consumes
+/// this; which column acts as the label is chosen per fit() call, which is
+/// exactly what cross-feature analysis needs.
+struct Dataset {
+  std::vector<std::vector<int>> rows;  // row-major
+  std::vector<int> cardinality;        // per column: values are [0, card)
+  std::vector<std::string> names;      // optional column names
+
+  std::size_t size() const { return rows.size(); }
+  std::size_t columns() const { return cardinality.size(); }
+
+  /// Validates invariants (row widths, value ranges). Aborts in debug builds
+  /// on violation; returns false in release builds.
+  bool valid() const;
+};
+
+/// Supervised classifier over nominal features with probabilistic output.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains to predict `data.rows[*][label_column]` from `feature_columns`.
+  /// `feature_columns` must not contain `label_column`.
+  virtual void fit(const Dataset& data,
+                   const std::vector<std::size_t>& feature_columns,
+                   std::size_t label_column) = 0;
+
+  /// Probability distribution over the label's value space, for a full-width
+  /// row (the classifier reads only its feature columns).
+  virtual std::vector<double> predict_dist(
+      const std::vector<int>& row) const = 0;
+
+  /// Most probable class.
+  int predict(const std::vector<int>& row) const;
+
+  /// Estimated probability of a specific class value — the p(f_i(x)|x) used
+  /// by Algorithm 3.
+  double probability_of(const std::vector<int>& row, int class_value) const;
+
+  virtual const char* name() const = 0;
+
+  /// Human-readable rendering of the fitted model (the paper: "the resulting
+  /// model is fairly easy to comprehend and can be examined by human
+  /// experts"). `feature_names` indexes the full-width columns; pass the
+  /// dataset's names. Default: an opaque placeholder.
+  virtual std::string describe(
+      const std::vector<std::string>& feature_names) const {
+    (void)feature_names;
+    return std::string("(") + name() + ": no rendering)\n";
+  }
+};
+
+/// Produces fresh classifier instances; the cross-feature model needs one
+/// per labelled feature.
+using ClassifierFactory = std::function<std::unique_ptr<Classifier>()>;
+
+/// Utility: Laplace-smoothed distribution from raw class counts.
+std::vector<double> laplace_distribution(const std::vector<double>& counts);
+
+}  // namespace xfa

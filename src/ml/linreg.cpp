@@ -1,0 +1,72 @@
+#include "ml/linreg.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace xfa {
+
+void LinearRegression::fit(const std::vector<std::vector<double>>& x,
+                           const std::vector<double>& y, double ridge) {
+  assert(!x.empty() && x.size() == y.size());
+  const std::size_t d = x.front().size();
+  const std::size_t n = d + 1;  // + intercept
+
+  // Normal equations A w = b with A = X^T X + ridge*I, b = X^T y, where X is
+  // augmented with a constant-1 column.
+  std::vector<std::vector<double>> a(n, std::vector<double>(n, 0.0));
+  std::vector<double> b(n, 0.0);
+  for (std::size_t r = 0; r < x.size(); ++r) {
+    assert(x[r].size() == d);
+    const auto feature = [&](std::size_t i) {
+      return i < d ? x[r][i] : 1.0;
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+      b[i] += feature(i) * y[r];
+      for (std::size_t j = i; j < n; ++j) a[i][j] += feature(i) * feature(j);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i][i] += ridge;
+    for (std::size_t j = 0; j < i; ++j) a[i][j] = a[j][i];
+  }
+
+  // Gaussian elimination with partial pivoting.
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    const double diag = a[col][col];
+    if (std::abs(diag) < 1e-12) continue;  // degenerate direction: leave 0
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double factor = a[r][col] / diag;
+      if (factor == 0) continue;
+      for (std::size_t c = col; c < n; ++c) a[r][c] -= factor * a[col][c];
+      b[r] -= factor * b[col];
+    }
+  }
+  weights_.assign(d, 0.0);
+  for (std::size_t i = 0; i < d; ++i)
+    weights_[i] = std::abs(a[i][i]) < 1e-12 ? 0.0 : b[i] / a[i][i];
+  intercept_ = std::abs(a[d][d]) < 1e-12 ? 0.0 : b[d] / a[d][d];
+}
+
+double LinearRegression::predict(const std::vector<double>& row) const {
+  assert(fitted() && row.size() == weights_.size());
+  double y = intercept_;
+  for (std::size_t i = 0; i < weights_.size(); ++i)
+    y += weights_[i] * row[i];
+  return y;
+}
+
+double LinearRegression::log_distance(double predicted, double actual,
+                                      double epsilon) {
+  const double p = std::max(std::abs(predicted), epsilon);
+  const double a = std::max(std::abs(actual), epsilon);
+  return std::abs(std::log(p / a));
+}
+
+}  // namespace xfa

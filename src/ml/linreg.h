@@ -1,0 +1,36 @@
+// Multiple linear regression, for the paper's continuous-feature extension:
+// "To generalize the framework to continuous features ... we can either
+// discretize it or use multiple linear regression. With multiple linear
+// regression, we use log distance, |log(C_i(x)/f_i(x))|, to measure the
+// difference of prediction from true value."
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace xfa {
+
+class LinearRegression {
+ public:
+  /// Fits y ~ w.x + b by least squares (normal equations with a small ridge
+  /// term for numerical stability). Rows of x must all have equal width.
+  void fit(const std::vector<std::vector<double>>& x,
+           const std::vector<double>& y, double ridge = 1e-6);
+
+  bool fitted() const { return !weights_.empty(); }
+  double predict(const std::vector<double>& row) const;
+
+  /// The paper's log-distance deviation measure |log(pred/actual)|, made
+  /// total by an epsilon floor on both operands.
+  static double log_distance(double predicted, double actual,
+                             double epsilon = 1e-6);
+
+  const std::vector<double>& weights() const { return weights_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  std::vector<double> weights_;
+  double intercept_ = 0;
+};
+
+}  // namespace xfa

@@ -1,0 +1,45 @@
+#include "ml/metrics.h"
+
+#include <cassert>
+
+#include "sim/rng.h"
+
+namespace xfa {
+
+double accuracy(const Classifier& classifier, const Dataset& data,
+                std::size_t label_column) {
+  if (data.rows.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (const auto& row : data.rows)
+    if (classifier.predict(row) == row[label_column]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+std::vector<std::vector<std::size_t>> confusion_matrix(
+    const Classifier& classifier, const Dataset& data,
+    std::size_t label_column) {
+  const auto classes = static_cast<std::size_t>(
+      data.cardinality[label_column]);
+  std::vector<std::vector<std::size_t>> confusion(
+      classes, std::vector<std::size_t>(classes, 0));
+  for (const auto& row : data.rows) {
+    const auto truth = static_cast<std::size_t>(row[label_column]);
+    const auto predicted = static_cast<std::size_t>(classifier.predict(row));
+    if (predicted < classes) ++confusion[truth][predicted];
+  }
+  return confusion;
+}
+
+std::vector<std::size_t> kfold_assignment(std::size_t rows, std::size_t folds,
+                                          std::uint64_t seed) {
+  assert(folds > 0);
+  std::vector<std::size_t> assignment(rows);
+  for (std::size_t i = 0; i < rows; ++i) assignment[i] = i % folds;
+  Rng rng(seed);
+  for (std::size_t i = rows; i > 1; --i)
+    std::swap(assignment[i - 1],
+              assignment[static_cast<std::size_t>(rng.uniform_int(i))]);
+  return assignment;
+}
+
+}  // namespace xfa

@@ -1,0 +1,24 @@
+// Basic classifier quality metrics used by the test suite and examples.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace xfa {
+
+/// Fraction of rows whose predicted label equals the true label.
+double accuracy(const Classifier& classifier, const Dataset& data,
+                std::size_t label_column);
+
+/// confusion[truth][prediction] counts.
+std::vector<std::vector<std::size_t>> confusion_matrix(
+    const Classifier& classifier, const Dataset& data,
+    std::size_t label_column);
+
+/// Deterministic k-fold assignment: fold index per row.
+std::vector<std::size_t> kfold_assignment(std::size_t rows, std::size_t folds,
+                                          std::uint64_t seed);
+
+}  // namespace xfa

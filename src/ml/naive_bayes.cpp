@@ -1,0 +1,67 @@
+#include "ml/naive_bayes.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace xfa {
+
+void NaiveBayes::fit(const Dataset& data,
+                     const std::vector<std::size_t>& feature_columns,
+                     std::size_t label_column) {
+  assert(!data.rows.empty());
+  feature_columns_ = feature_columns;
+  const auto classes = static_cast<std::size_t>(
+      data.cardinality[label_column]);
+  class_counts_.assign(classes, 0);
+  total_ = static_cast<double>(data.size());
+
+  cond_.assign(feature_columns_.size(), {});
+  for (std::size_t f = 0; f < feature_columns_.size(); ++f) {
+    cond_[f].assign(classes,
+                    std::vector<double>(static_cast<std::size_t>(
+                                            data.cardinality[
+                                                feature_columns_[f]]),
+                                        0.0));
+  }
+
+  for (const auto& row : data.rows) {
+    const auto label = static_cast<std::size_t>(row[label_column]);
+    class_counts_[label] += 1.0;
+    for (std::size_t f = 0; f < feature_columns_.size(); ++f)
+      cond_[f][label][static_cast<std::size_t>(
+          row[feature_columns_[f]])] += 1.0;
+  }
+}
+
+std::vector<double> NaiveBayes::predict_dist(
+    const std::vector<int>& row) const {
+  assert(!class_counts_.empty() && "predict before fit");
+  const std::size_t classes = class_counts_.size();
+  // Work in log space to avoid underflow across ~140 factors.
+  std::vector<double> log_score(classes);
+  for (std::size_t c = 0; c < classes; ++c) {
+    log_score[c] = std::log((class_counts_[c] + 1.0) /
+                            (total_ + static_cast<double>(classes)));
+    for (std::size_t f = 0; f < feature_columns_.size(); ++f) {
+      const auto& counts = cond_[f][c];
+      const auto v = static_cast<std::size_t>(row[feature_columns_[f]]);
+      const double value_count = v < counts.size() ? counts[v] : 0.0;
+      log_score[c] += std::log(
+          (value_count + 1.0) /
+          (class_counts_[c] + static_cast<double>(counts.size())));
+    }
+  }
+  // Normalize: p(l_i|x) = n(l_i|x) / sum_k n(l_k|x).
+  const double max_log = *std::max_element(log_score.begin(), log_score.end());
+  std::vector<double> dist(classes);
+  double sum = 0;
+  for (std::size_t c = 0; c < classes; ++c) {
+    dist[c] = std::exp(log_score[c] - max_log);
+    sum += dist[c];
+  }
+  for (double& p : dist) p /= sum;
+  return dist;
+}
+
+}  // namespace xfa

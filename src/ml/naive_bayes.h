@@ -1,0 +1,32 @@
+// Naive Bayes classifier over nominal attributes (the paper's NBC).
+//
+// Paper §3: the score for class l_i is n(l_i|x) = p(l_i) * prod_j p(a_j|l_i)
+// and the output probability is the normalized score
+// p(l_i|x) = n(l_i|x) / sum_k n(l_k|x). Conditional probabilities are
+// Laplace-smoothed so unseen attribute values never zero out a class.
+#pragma once
+
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace xfa {
+
+class NaiveBayes final : public Classifier {
+ public:
+  void fit(const Dataset& data,
+           const std::vector<std::size_t>& feature_columns,
+           std::size_t label_column) override;
+  std::vector<double> predict_dist(const std::vector<int>& row) const override;
+  const char* name() const override { return "NBC"; }
+
+ private:
+  std::vector<std::size_t> feature_columns_;
+  std::vector<double> class_counts_;
+  // cond_[f][class][value] = count of value for feature_columns_[f] given
+  // class, Laplace-ready.
+  std::vector<std::vector<std::vector<double>>> cond_;
+  double total_ = 0;
+};
+
+}  // namespace xfa

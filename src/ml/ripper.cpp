@@ -1,0 +1,224 @@
+#include "ml/ripper.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <string>
+
+#include "sim/rng.h"
+
+namespace xfa {
+namespace {
+
+/// FOIL information value of a rule covering p positives and n negatives.
+double foil_value(double p, double n) {
+  if (p <= 0) return -1e9;
+  return std::log2(p / (p + n));
+}
+
+}  // namespace
+
+Ripper::Ripper(const RipperConfig& config) : config_(config) {}
+
+bool Ripper::matches(const Rule& rule, const std::vector<int>& row) {
+  for (const Condition& condition : rule.conditions)
+    if (row[condition.column] != condition.value) return false;
+  return true;
+}
+
+void Ripper::fit(const Dataset& data,
+                 const std::vector<std::size_t>& feature_columns,
+                 std::size_t label_column) {
+  assert(!data.rows.empty());
+  rules_.clear();
+  label_cardinality_ = data.cardinality[label_column];
+  const auto classes = static_cast<std::size_t>(label_cardinality_);
+
+  // Order classes by ascending frequency; the most frequent is the default.
+  std::vector<double> class_freq(classes, 0);
+  for (const auto& row : data.rows)
+    class_freq[static_cast<std::size_t>(row[label_column])] += 1.0;
+  std::vector<int> order(classes);
+  for (std::size_t c = 0; c < classes; ++c) order[c] = static_cast<int>(c);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return class_freq[static_cast<std::size_t>(a)] <
+           class_freq[static_cast<std::size_t>(b)];
+  });
+
+  // Pool of uncovered examples (indices into data.rows).
+  std::vector<std::size_t> pool(data.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) pool[i] = i;
+  Rng rng(config_.shuffle_seed);
+
+  for (std::size_t ci = 0; ci + 1 < classes; ++ci) {
+    const int target = order[ci];
+    if (class_freq[static_cast<std::size_t>(target)] <= 0) continue;
+
+    for (std::size_t r = 0; r < config_.max_rules_per_class; ++r) {
+      // Any positives left in the pool?
+      bool has_positive = false;
+      for (const std::size_t i : pool) {
+        if (data.rows[i][label_column] == target) {
+          has_positive = true;
+          break;
+        }
+      }
+      if (!has_positive) break;
+
+      // Split pool into grow / prune subsets.
+      std::vector<std::size_t> shuffled = pool;
+      for (std::size_t i = shuffled.size(); i > 1; --i)
+        std::swap(shuffled[i - 1],
+                  shuffled[static_cast<std::size_t>(rng.uniform_int(i))]);
+      const std::size_t grow_size = std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 static_cast<double>(shuffled.size()) * config_.grow_fraction));
+      std::vector<std::size_t> grow(shuffled.begin(),
+                                    shuffled.begin() + grow_size);
+      std::vector<std::size_t> prune(shuffled.begin() + grow_size,
+                                     shuffled.end());
+
+      // ---- Grow: greedily add conditions maximizing FOIL gain. ----
+      Rule rule;
+      rule.target_class = target;
+      std::vector<std::size_t> covered = grow;
+      std::vector<bool> column_used(data.columns(), false);
+      while (true) {
+        double p = 0, n = 0;
+        for (const std::size_t i : covered)
+          (data.rows[i][label_column] == target ? p : n) += 1.0;
+        if (n == 0 || p == 0) break;  // pure (or hopeless) on the grow set
+        const double base = foil_value(p, n);
+
+        double best_gain = 1e-9;
+        std::size_t best_column = 0;
+        int best_value = -1;
+        for (const std::size_t col : feature_columns) {
+          if (col == label_column || column_used[col]) continue;
+          const auto values = static_cast<std::size_t>(data.cardinality[col]);
+          std::vector<double> pos(values, 0), neg(values, 0);
+          for (const std::size_t i : covered) {
+            const auto v = static_cast<std::size_t>(data.rows[i][col]);
+            (data.rows[i][label_column] == target ? pos[v] : neg[v]) += 1.0;
+          }
+          for (std::size_t v = 0; v < values; ++v) {
+            if (pos[v] <= 0) continue;
+            const double gain = pos[v] * (foil_value(pos[v], neg[v]) - base);
+            if (gain > best_gain) {
+              best_gain = gain;
+              best_column = col;
+              best_value = static_cast<int>(v);
+            }
+          }
+        }
+        if (best_value < 0) break;  // no condition improves the rule
+        rule.conditions.push_back(Condition{best_column, best_value});
+        column_used[best_column] = true;
+        std::erase_if(covered, [&](std::size_t i) {
+          return data.rows[i][best_column] != best_value;
+        });
+      }
+      if (rule.conditions.empty()) break;  // nothing discriminative left
+
+      // ---- Prune: drop trailing conditions to maximize (p-n)/(p+n). ----
+      const auto prune_value = [&](std::size_t keep) {
+        double p = 0, n = 0;
+        for (const std::size_t i : prune) {
+          bool match = true;
+          for (std::size_t k = 0; k < keep && match; ++k)
+            match = data.rows[i][rule.conditions[k].column] ==
+                    rule.conditions[k].value;
+          if (match) (data.rows[i][label_column] == target ? p : n) += 1.0;
+        }
+        return p + n == 0 ? -1.0 : (p - n) / (p + n);
+      };
+      if (!prune.empty()) {
+        std::size_t best_keep = rule.conditions.size();
+        double best_value = prune_value(best_keep);
+        for (std::size_t keep = rule.conditions.size(); keep-- > 1;) {
+          const double value = prune_value(keep);
+          if (value > best_value) {
+            best_value = value;
+            best_keep = keep;
+          }
+        }
+        rule.conditions.resize(best_keep);
+      }
+
+      // ---- Accept or stop: pruned-rule precision on the prune set. ----
+      double pool_p = 0, pool_n = 0;
+      std::vector<std::size_t> pool_covered;
+      for (const std::size_t i : pool) {
+        if (matches(rule, data.rows[i])) {
+          pool_covered.push_back(i);
+          (data.rows[i][label_column] == target ? pool_p : pool_n) += 1.0;
+        }
+      }
+      if (pool_p + pool_n == 0 ||
+          pool_p / (pool_p + pool_n) < config_.min_prune_precision)
+        break;
+
+      // Record the training class distribution of covered examples.
+      rule.class_counts.assign(classes, 0);
+      for (const std::size_t i : pool_covered)
+        rule.class_counts[static_cast<std::size_t>(
+            data.rows[i][label_column])] += 1.0;
+      rules_.push_back(rule);
+
+      // Remove covered examples from the pool.
+      std::erase_if(pool, [&](std::size_t i) {
+        return matches(rule, data.rows[i]);
+      });
+    }
+  }
+
+  // Default distribution: whatever the rules never covered (falling back to
+  // the full training distribution if everything was covered).
+  default_counts_.assign(classes, 0);
+  for (const std::size_t i : pool)
+    default_counts_[static_cast<std::size_t>(
+        data.rows[i][label_column])] += 1.0;
+  double total = 0;
+  for (const double c : default_counts_) total += c;
+  if (total == 0) default_counts_ = class_freq;
+}
+
+std::string Ripper::describe(
+    const std::vector<std::string>& feature_names) const {
+  const auto name_of = [&](std::size_t column) -> std::string {
+    return column < feature_names.size() ? feature_names[column]
+                                         : "f" + std::to_string(column);
+  };
+  std::string out;
+  for (const Rule& rule : rules_) {
+    out += "IF ";
+    for (std::size_t i = 0; i < rule.conditions.size(); ++i) {
+      if (i > 0) out += " AND ";
+      out += name_of(rule.conditions[i].column) + "=" +
+             std::to_string(rule.conditions[i].value);
+    }
+    double covered = 0;
+    for (const double c : rule.class_counts) covered += c;
+    out += " THEN class " + std::to_string(rule.target_class) + "  (" +
+           std::to_string(static_cast<long>(
+               rule.class_counts[static_cast<std::size_t>(
+                   rule.target_class)])) +
+           "/" + std::to_string(static_cast<long>(covered)) + ")\n";
+  }
+  int default_class = 0;
+  for (std::size_t v = 1; v < default_counts_.size(); ++v)
+    if (default_counts_[v] > default_counts_[static_cast<std::size_t>(
+            default_class)])
+      default_class = static_cast<int>(v);
+  out += "ELSE class " + std::to_string(default_class) + "\n";
+  return out;
+}
+
+std::vector<double> Ripper::predict_dist(const std::vector<int>& row) const {
+  assert(label_cardinality_ > 0 && "predict before fit");
+  for (const Rule& rule : rules_)
+    if (matches(rule, row)) return laplace_distribution(rule.class_counts);
+  return laplace_distribution(default_counts_);
+}
+
+}  // namespace xfa

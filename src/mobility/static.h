@@ -1,0 +1,45 @@
+// Static node placement: the mobility model for unit tests and for
+// fixed-topology demos (e.g. the paper's 2-node illustrative network).
+// Positions can be changed mid-simulation to break or create links
+// deterministically.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "mobility/waypoint.h"
+
+namespace xfa {
+
+class StaticPositions final : public MobilityModel {
+ public:
+  explicit StaticPositions(std::vector<Vec2> positions)
+      : positions_(std::move(positions)) {}
+
+  /// Convenience: n nodes on a horizontal line, `spacing` metres apart.
+  static StaticPositions line(std::size_t n, double spacing) {
+    std::vector<Vec2> positions;
+    positions.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      positions.push_back({spacing * static_cast<double>(i), 0.0});
+    return StaticPositions(std::move(positions));
+  }
+
+  Vec2 position(NodeId node, SimTime) const override {
+    assert(node >= 0 && static_cast<std::size_t>(node) < positions_.size());
+    return positions_[static_cast<std::size_t>(node)];
+  }
+
+  double speed(NodeId, SimTime) const override { return 0.0; }
+
+  /// Teleports a node (e.g. out of range, to sever a link).
+  void move(NodeId node, Vec2 to) {
+    assert(node >= 0 && static_cast<std::size_t>(node) < positions_.size());
+    positions_[static_cast<std::size_t>(node)] = to;
+  }
+
+ private:
+  std::vector<Vec2> positions_;
+};
+
+}  // namespace xfa

@@ -1,0 +1,23 @@
+// Minimal 2-D vector math for node positions on the simulation field.
+#pragma once
+
+#include <cmath>
+
+namespace xfa {
+
+struct Vec2 {
+  double x = 0;
+  double y = 0;
+
+  friend Vec2 operator+(Vec2 a, Vec2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend Vec2 operator-(Vec2 a, Vec2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend Vec2 operator*(Vec2 a, double s) { return {a.x * s, a.y * s}; }
+  friend Vec2 operator*(double s, Vec2 a) { return a * s; }
+  friend bool operator==(Vec2 a, Vec2 b) { return a.x == b.x && a.y == b.y; }
+
+  double norm() const { return std::hypot(x, y); }
+};
+
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+}  // namespace xfa

@@ -1,0 +1,76 @@
+#include "mobility/waypoint.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xfa {
+
+RandomWaypointMobility::RandomWaypointMobility(std::size_t node_count,
+                                               const MobilityConfig& config,
+                                               Rng rng)
+    : config_(config), rng_(rng) {
+  assert(config.max_speed > 0 && config.min_speed > 0);
+  assert(config.min_speed <= config.max_speed);
+  nodes_.reserve(node_count);
+  node_rngs_.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    node_rngs_.push_back(rng_.fork());
+    Segment s;
+    s.start_time = 0;
+    s.start = {node_rngs_.back().uniform(0, config_.field_width),
+               node_rngs_.back().uniform(0, config_.field_height)};
+    s.dest = s.start;
+    s.speed = 0;
+    s.end_time = config_.pause_time;  // initial pause, then start moving
+    nodes_.push_back(s);
+  }
+}
+
+RandomWaypointMobility::Segment RandomWaypointMobility::next_segment(
+    std::size_t node, const Segment& prev) const {
+  Rng& rng = node_rngs_[node];
+  Segment s;
+  s.start_time = prev.end_time;
+  s.start = prev.dest;
+  if (prev.speed > 0) {
+    // Just arrived: pause in place.
+    s.dest = s.start;
+    s.speed = 0;
+    s.end_time = s.start_time + config_.pause_time;
+  } else {
+    // Pick a new waypoint and travel there.
+    s.dest = {rng.uniform(0, config_.field_width),
+              rng.uniform(0, config_.field_height)};
+    s.speed = rng.uniform(config_.min_speed, config_.max_speed);
+    const double dist = distance(s.start, s.dest);
+    s.end_time = s.start_time + (dist > 0 ? dist / s.speed : 0);
+  }
+  return s;
+}
+
+void RandomWaypointMobility::advance(std::size_t node, SimTime t) const {
+  Segment& s = nodes_[node];
+  while (s.end_time < t) s = next_segment(node, s);
+}
+
+Vec2 RandomWaypointMobility::position(NodeId node, SimTime t) const {
+  assert(node >= 0 && static_cast<std::size_t>(node) < nodes_.size());
+  advance(static_cast<std::size_t>(node), t);
+  const Segment& s = nodes_[static_cast<std::size_t>(node)];
+  // Queries are expected to be (per node) non-decreasing in time; a query
+  // earlier than the current segment is clamped to the segment start.
+  const SimTime ct = std::clamp(t, s.start_time, s.end_time);
+  if (s.speed == 0) return s.start;
+  const double total = distance(s.start, s.dest);
+  if (total == 0) return s.start;
+  const double frac = s.speed * (ct - s.start_time) / total;
+  return s.start + (s.dest - s.start) * std::min(frac, 1.0);
+}
+
+double RandomWaypointMobility::speed(NodeId node, SimTime t) const {
+  assert(node >= 0 && static_cast<std::size_t>(node) < nodes_.size());
+  advance(static_cast<std::size_t>(node), t);
+  return nodes_[static_cast<std::size_t>(node)].speed;
+}
+
+}  // namespace xfa

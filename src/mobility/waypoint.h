@@ -1,0 +1,75 @@
+// Random waypoint mobility model (the ns-2 "setdest" equivalent).
+//
+// Each node repeatedly: picks a uniform random destination inside the field,
+// moves toward it in a straight line at a uniform random speed in
+// (0, max_speed], then pauses for `pause_time` seconds. Positions are
+// evaluated lazily from the current motion segment, so queries at arbitrary
+// times are exact and O(1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mobility/vec2.h"
+#include "sim/rng.h"
+#include "sim/types.h"
+
+namespace xfa {
+
+/// Position/velocity source for the channel. Implementations must tolerate
+/// (per node) non-decreasing time queries.
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+  virtual Vec2 position(NodeId node, SimTime t) const = 0;
+  virtual double speed(NodeId node, SimTime t) const = 0;
+};
+
+struct MobilityConfig {
+  double field_width = 1000.0;   // metres (paper: 1000 x 1000 topology)
+  double field_height = 1000.0;  // metres
+  double max_speed = 20.0;       // m/s (paper: 20.0 m/s)
+  double min_speed = 0.1;        // m/s; avoids the RWP zero-speed pathologies
+  SimTime pause_time = 10.0;     // s   (paper: 10 s)
+};
+
+/// Mobility state for the whole network. Owns every node's motion.
+class RandomWaypointMobility final : public MobilityModel {
+ public:
+  RandomWaypointMobility(std::size_t node_count, const MobilityConfig& config,
+                         Rng rng);
+
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// Position of `node` at time `t`. `t` must be monotonically reasonable
+  /// (any t >= 0 works; segments are advanced on demand).
+  Vec2 position(NodeId node, SimTime t) const override;
+
+  /// Instantaneous speed (absolute velocity, m/s) of `node` at time `t`.
+  /// Zero while pausing.
+  double speed(NodeId node, SimTime t) const override;
+
+  const MobilityConfig& config() const { return config_; }
+
+ private:
+  struct Segment {
+    SimTime start_time = 0;
+    Vec2 start;
+    Vec2 dest;
+    double speed = 0;        // m/s; 0 == pausing
+    SimTime end_time = 0;    // when this segment completes
+  };
+
+  // Advances the node's segment chain up to time t (const-lazy: mutable).
+  void advance(std::size_t node, SimTime t) const;
+  Segment next_segment(std::size_t node, const Segment& prev) const;
+
+  MobilityConfig config_;
+  mutable Rng rng_;
+  // One RNG per node so each node's trajectory is independent of the order in
+  // which other nodes' positions are queried.
+  mutable std::vector<Rng> node_rngs_;
+  mutable std::vector<Segment> nodes_;
+};
+
+}  // namespace xfa

@@ -1,0 +1,82 @@
+#include "net/channel.h"
+
+#include <cassert>
+
+#include "net/node.h"
+
+namespace xfa {
+
+Channel::Channel(Simulator& sim, const MobilityModel& mobility,
+                 const ChannelConfig& config)
+    : sim_(sim), mobility_(mobility), config_(config), rng_(sim.fork_rng()) {
+  assert(config.range_m > 0 && config.bandwidth_bps > 0);
+  assert(config.loss_rate >= 0 && config.loss_rate < 1);
+}
+
+void Channel::register_node(Node& node) {
+  assert(node.id() == static_cast<NodeId>(nodes_.size()) &&
+         "nodes must register in id order");
+  nodes_.push_back(&node);
+}
+
+bool Channel::in_range(NodeId a, NodeId b) const {
+  if (a == b) return false;
+  const SimTime t = sim_.now();
+  return distance(mobility_.position(a, t), mobility_.position(b, t)) <=
+         config_.range_m;
+}
+
+std::vector<NodeId> Channel::neighbors(NodeId node) const {
+  std::vector<NodeId> out;
+  for (const Node* other : nodes_) {
+    if (other->id() != node && in_range(node, other->id()))
+      out.push_back(other->id());
+  }
+  return out;
+}
+
+SimTime Channel::transmission_delay(const Packet& pkt) const {
+  return static_cast<double>(pkt.size_bytes) * 8.0 / config_.bandwidth_bps;
+}
+
+void Channel::transmit(NodeId from, Packet pkt, NodeId to) {
+  assert(from >= 0 && static_cast<std::size_t>(from) < nodes_.size());
+  ++stats_.transmissions;
+  if (pkt.uid == 0) pkt.uid = next_uid();
+
+  const SimTime delay =
+      transmission_delay(pkt) + rng_.uniform(0, config_.max_jitter_s);
+  // Connectivity is evaluated at transmit time; at these speeds nodes move
+  // < 1 mm within the delay, so this matches evaluating at arrival time.
+  bool unicast_delivered = false;
+  for (Node* receiver : nodes_) {
+    const NodeId rid = receiver->id();
+    if (rid == from || !in_range(from, rid)) continue;
+    if (config_.loss_rate > 0 && rng_.chance(config_.loss_rate)) {
+      ++stats_.random_losses;
+      continue;
+    }
+    if (to == kBroadcast || rid == to) {
+      if (rid == to) unicast_delivered = true;
+      ++stats_.deliveries;
+      sim_.after(delay, [receiver, pkt, from] {
+        receiver->deliver(pkt, from);
+      });
+    } else if (config_.promiscuous_taps) {
+      ++stats_.taps;
+      sim_.after(delay, [receiver, pkt, from, to] {
+        receiver->overhear(pkt, from, to);
+      });
+    }
+  }
+
+  if (to != kBroadcast && !unicast_delivered) {
+    ++stats_.unicast_failures;
+    Node* sender = nodes_[static_cast<std::size_t>(from)];
+    // Missing-ACK detection takes roughly one retry round at the MAC.
+    sim_.after(delay + 0.01,
+               [sender, pkt, to] { sender->link_failure(pkt, to); });
+  }
+}
+
+}  // namespace xfa

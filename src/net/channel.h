@@ -1,0 +1,78 @@
+// Wireless channel: unit-disc connectivity over the mobility model.
+//
+// Replaces ns-2's PHY/MAC-802.11 stack with the pieces that matter for
+// routing-behaviour features: finite radio range, transmission delay from a
+// shared-medium bandwidth, small random access jitter, optional random loss,
+// promiscuous overhearing, and missing-ACK feedback for unicast failures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mobility/waypoint.h"
+#include "net/packet.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace xfa {
+
+class Node;
+
+struct ChannelConfig {
+  double range_m = 250.0;        // ns-2 default 914MHz WaveLAN range
+  double bandwidth_bps = 2e6;    // 2 Mb/s, the classic 802.11 WaveLAN rate
+  double loss_rate = 0.0;        // independent per-receiver loss probability
+  double max_jitter_s = 0.001;   // uniform medium-access jitter per transmit
+  // Deliver promiscuous overhears of unicasts. DSR needs them for its route
+  // "notice" mechanism; AODV ignores taps, so runners disable them there to
+  // keep the event count down.
+  bool promiscuous_taps = true;
+};
+
+/// Channel statistics, global across all nodes (diagnostics and tests).
+struct ChannelStats {
+  std::uint64_t transmissions = 0;     // transmit() calls
+  std::uint64_t deliveries = 0;        // packets handed to a receiving node
+  std::uint64_t taps = 0;              // promiscuous overhears delivered
+  std::uint64_t random_losses = 0;     // receiver lost packet to loss_rate
+  std::uint64_t unicast_failures = 0;  // unicast target out of range / lost
+};
+
+class Channel {
+ public:
+  Channel(Simulator& sim, const MobilityModel& mobility,
+          const ChannelConfig& config);
+
+  /// Nodes must register in id order (node id == registration index).
+  void register_node(Node& node);
+
+  /// Link-layer transmit from `from`. `to == kBroadcast` reaches every node
+  /// in range; a unicast also taps other in-range nodes (promiscuous mode).
+  /// A unicast whose target is out of range or suffers loss triggers the
+  /// sender's link-failure handler (models a missing 802.11 ACK).
+  void transmit(NodeId from, Packet pkt, NodeId to);
+
+  bool in_range(NodeId a, NodeId b) const;
+  std::vector<NodeId> neighbors(NodeId node) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+  const ChannelStats& stats() const { return stats_; }
+  const ChannelConfig& config() const { return config_; }
+  const MobilityModel& mobility() const { return mobility_; }
+
+  /// Assigns a fresh uid to a packet being originated.
+  std::uint64_t next_uid() { return ++last_uid_; }
+
+ private:
+  SimTime transmission_delay(const Packet& pkt) const;
+
+  Simulator& sim_;
+  const MobilityModel& mobility_;
+  ChannelConfig config_;
+  Rng rng_;
+  std::vector<Node*> nodes_;
+  ChannelStats stats_;
+  std::uint64_t last_uid_ = 0;
+};
+
+}  // namespace xfa

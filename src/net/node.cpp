@@ -1,0 +1,63 @@
+#include "net/node.h"
+
+#include "net/channel.h"
+
+namespace xfa {
+
+Node::Node(Simulator& sim, Channel& channel, NodeId id)
+    : sim_(sim), channel_(channel), id_(id) {}
+
+void Node::set_routing(std::unique_ptr<RoutingProtocol> routing) {
+  routing_ = std::move(routing);
+}
+
+void Node::send_data(NodeId dst, std::uint32_t flow_id, std::uint32_t seq,
+                     std::uint32_t bytes, bool is_ack) {
+  assert(routing_ != nullptr);
+  Packet pkt;
+  pkt.kind = PacketKind::Data;
+  pkt.src = id_;
+  pkt.dst = dst;
+  pkt.flow_id = flow_id;
+  pkt.seq = seq;
+  pkt.size_bytes = bytes;
+  pkt.is_transport_ack = is_ack;
+  ++data_originated_;
+  log_packet(AuditPacketType::Data, FlowDirection::Sent);
+  routing_->send_data(std::move(pkt));
+}
+
+void Node::deliver(Packet pkt, NodeId from) {
+  assert(routing_ != nullptr);
+  routing_->receive(std::move(pkt), from);
+}
+
+void Node::overhear(const Packet& pkt, NodeId from, NodeId to) {
+  if (routing_) routing_->tap(pkt, from, to);
+}
+
+void Node::link_failure(const Packet& pkt, NodeId to) {
+  if (routing_) routing_->link_failure(pkt, to);
+}
+
+void Node::deliver_to_transport(const Packet& pkt) {
+  ++data_delivered_;
+  log_packet(AuditPacketType::Data, FlowDirection::Received);
+  const auto it = sinks_.find(pkt.flow_id);
+  if (it != sinks_.end()) it->second->deliver(pkt);
+}
+
+void Node::register_sink(std::uint32_t flow_id, TransportSink* sink) {
+  assert(sink != nullptr);
+  sinks_[flow_id] = sink;
+}
+
+void Node::log_packet(AuditPacketType type, FlowDirection dir) {
+  if (audit_enabled_) audit_.record_packet(sim_.now(), type, dir);
+}
+
+void Node::log_route_event(RouteEventKind kind) {
+  if (audit_enabled_) audit_.record_route_event(sim_.now(), kind);
+}
+
+}  // namespace xfa

@@ -1,0 +1,141 @@
+// Node: a mobile host gluing together routing, transport, audit and attacks.
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "audit/audit.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace xfa {
+
+class Channel;
+class Node;
+
+/// Interface every routing agent (AODV, DSR) implements. The node owns one.
+class RoutingProtocol {
+ public:
+  virtual ~RoutingProtocol() = default;
+
+  /// Called once after the node is fully wired; arms timers (e.g. HELLO).
+  virtual void start() {}
+
+  /// Originates an application data packet from this node. The agent finds or
+  /// discovers a route and transmits (or buffers) the packet.
+  virtual void send_data(Packet&& pkt) = 0;
+
+  /// A packet addressed to this node (unicast to us, or broadcast) arrived.
+  virtual void receive(Packet pkt, NodeId from) = 0;
+
+  /// Promiscuous overhear of a unicast between two other nodes.
+  virtual void tap(const Packet& pkt, NodeId from, NodeId to) {
+    (void)pkt;
+    (void)from;
+    (void)to;
+  }
+
+  /// A unicast we transmitted got no link-layer ACK.
+  virtual void link_failure(const Packet& pkt, NodeId to) = 0;
+
+  /// Mean route length over the current route table / cache (Table 4
+  /// "average route length"); 0 when empty.
+  virtual double average_route_length() const = 0;
+
+  /// Number of usable routes currently known.
+  virtual std::size_t route_count() const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// Receives application data delivered at the final destination.
+class TransportSink {
+ public:
+  virtual ~TransportSink() = default;
+  virtual void deliver(const Packet& pkt) = 0;
+};
+
+class Node {
+ public:
+  Node(Simulator& sim, Channel& channel, NodeId id);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  Simulator& sim() { return sim_; }
+  Channel& channel() { return channel_; }
+  AuditLog& audit() { return audit_; }
+  const AuditLog& audit() const { return audit_; }
+
+  /// Audit recording is off by default (a 10^4-second run generates tens of
+  /// millions of observations network-wide); the scenario runner enables it
+  /// on the monitored node(s) only — matching the paper, which evaluates on
+  /// audit data "collected on one node only".
+  void enable_audit(bool enabled) { audit_enabled_ = enabled; }
+  bool audit_enabled() const { return audit_enabled_; }
+
+  void set_routing(std::unique_ptr<RoutingProtocol> routing);
+  RoutingProtocol& routing() {
+    assert(routing_ != nullptr);
+    return *routing_;
+  }
+  const RoutingProtocol& routing() const {
+    assert(routing_ != nullptr);
+    return *routing_;
+  }
+  bool has_routing() const { return routing_ != nullptr; }
+
+  /// Transport entry point: originate a data packet. Logs (data, sent).
+  void send_data(NodeId dst, std::uint32_t flow_id, std::uint32_t seq,
+                 std::uint32_t bytes, bool is_ack);
+
+  /// Channel delivery entry points.
+  void deliver(Packet pkt, NodeId from);
+  void overhear(const Packet& pkt, NodeId from, NodeId to);
+  void link_failure(const Packet& pkt, NodeId to);
+
+  /// Called by the routing agent when a data packet reaches its final
+  /// destination here. Logs (data, received) and hands off to the sink.
+  void deliver_to_transport(const Packet& pkt);
+
+  /// Transport agents register per flow id to receive delivered packets.
+  void register_sink(std::uint32_t flow_id, TransportSink* sink);
+
+  /// Attack hook: the routing agent consults these before forwarding and
+  /// drops (maliciously) any packet for which a filter returns true. Several
+  /// attack scripts may be installed on one compromised node.
+  void add_forward_filter(std::function<bool(const Packet&)> filter) {
+    forward_filters_.push_back(std::move(filter));
+  }
+  bool should_maliciously_drop(const Packet& pkt) const {
+    for (const auto& filter : forward_filters_)
+      if (filter(pkt)) return true;
+    return false;
+  }
+
+  /// Audit shorthand used by routing agents.
+  void log_packet(AuditPacketType type, FlowDirection dir);
+  void log_route_event(RouteEventKind kind);
+
+  /// Diagnostic counters.
+  std::uint64_t data_originated() const { return data_originated_; }
+  std::uint64_t data_delivered() const { return data_delivered_; }
+
+ private:
+  Simulator& sim_;
+  Channel& channel_;
+  NodeId id_;
+  AuditLog audit_;
+  bool audit_enabled_ = false;
+  std::unique_ptr<RoutingProtocol> routing_;
+  std::unordered_map<std::uint32_t, TransportSink*> sinks_;
+  std::vector<std::function<bool(const Packet&)>> forward_filters_;
+  std::uint64_t data_originated_ = 0;
+  std::uint64_t data_delivered_ = 0;
+};
+
+}  // namespace xfa

@@ -1,0 +1,29 @@
+#include "net/packet.h"
+
+#include <sstream>
+
+namespace xfa {
+
+const char* to_string(PacketKind kind) {
+  switch (kind) {
+    case PacketKind::Data: return "DATA";
+    case PacketKind::RouteRequest: return "RREQ";
+    case PacketKind::RouteReply: return "RREP";
+    case PacketKind::RouteError: return "RERR";
+    case PacketKind::Hello: return "HELLO";
+  }
+  return "?";
+}
+
+std::string Packet::describe() const {
+  std::ostringstream os;
+  os << to_string(kind) << ' ' << src << "->";
+  if (dst == kBroadcast)
+    os << '*';
+  else
+    os << dst;
+  os << " uid=" << uid << " ttl=" << ttl;
+  return os.str();
+}
+
+}  // namespace xfa

@@ -1,0 +1,141 @@
+// Wire-level packet model: common fields plus per-protocol routing headers.
+//
+// Mirrors ns-2's packet object: a common header (uid, type, size, addressing)
+// and a union of protocol headers. Headers are plain data; all behaviour
+// lives in the routing agents.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace xfa {
+
+/// High-level packet category (the "packet type" feature dimension).
+enum class PacketKind : std::uint8_t {
+  Data,          // application payload (CBR or TCP segment/ack)
+  RouteRequest,  // AODV RREQ / DSR ROUTE REQUEST
+  RouteReply,    // AODV RREP / DSR ROUTE REPLY
+  RouteError,    // AODV RERR / DSR ROUTE ERROR
+  Hello,         // AODV HELLO beacon
+};
+
+const char* to_string(PacketKind kind);
+
+/// Sequence numbers in AODV; the maximum value is what the black hole attack
+/// forges ("routes with maximum sequence number are always considered the
+/// freshest").
+using SeqNo = std::uint32_t;
+inline constexpr SeqNo kMaxSeqNo = 0xffffffffu;
+
+// ---------------------------------------------------------------------------
+// AODV headers (RFC 3561 style, trimmed to what the simulation exercises).
+// ---------------------------------------------------------------------------
+
+struct AodvRreqHeader {
+  std::uint32_t rreq_id = 0;  // per-originator flood identifier
+  NodeId origin = kInvalidNode;
+  SeqNo origin_seqno = 0;
+  NodeId target = kInvalidNode;
+  SeqNo target_seqno = 0;
+  bool target_seqno_known = false;
+  std::uint16_t hop_count = 0;
+};
+
+struct AodvRrepHeader {
+  NodeId origin = kInvalidNode;  // who asked (RREP travels back to origin)
+  NodeId target = kInvalidNode;  // route destination being answered
+  SeqNo target_seqno = 0;
+  std::uint16_t hop_count = 0;
+  SimTime lifetime = 0;
+};
+
+struct AodvRerrHeader {
+  // Destinations now unreachable through the sender, with their seqnos.
+  std::vector<std::pair<NodeId, SeqNo>> unreachable;
+};
+
+struct AodvHelloHeader {
+  SeqNo seqno = 0;
+};
+
+// ---------------------------------------------------------------------------
+// DSR headers (Johnson & Maltz source routing).
+// ---------------------------------------------------------------------------
+
+struct DsrRreqHeader {
+  std::uint32_t request_id = 0;
+  NodeId origin = kInvalidNode;
+  NodeId target = kInvalidNode;
+  // Route accumulated so far, starting with the origin. The black hole forges
+  // this: a fabricated one-hop route [victim-source, attacker].
+  std::vector<NodeId> route_so_far;
+  // Freshness hint; real DSR has none, but ns-2-era implementations (and the
+  // paper's attack) exploit a sequence preference when overhearing.
+  SeqNo freshness = 0;
+};
+
+struct DsrRrepHeader {
+  NodeId origin = kInvalidNode;
+  NodeId target = kInvalidNode;
+  std::vector<NodeId> route;  // the discovered path origin..target
+  SeqNo freshness = 0;
+  // Path the reply itself travels (replier back to origin) and the index of
+  // the node currently holding it.
+  std::vector<NodeId> travel;
+  std::size_t travel_cursor = 0;
+};
+
+struct DsrRerrHeader {
+  NodeId broken_from = kInvalidNode;
+  NodeId broken_to = kInvalidNode;
+  NodeId origin = kInvalidNode;  // node reporting the failure
+  // Path the error report travels (reporter back to the data source).
+  std::vector<NodeId> travel;
+  std::size_t travel_cursor = 0;
+};
+
+/// Source-route carried by DSR data packets.
+struct DsrSourceRoute {
+  std::vector<NodeId> hops;  // full path, hops.front() == source
+  std::size_t cursor = 0;    // index of the node currently holding the packet
+};
+
+using RoutingHeader =
+    std::variant<std::monostate, AodvRreqHeader, AodvRrepHeader,
+                 AodvRerrHeader, AodvHelloHeader, DsrRreqHeader, DsrRrepHeader,
+                 DsrRerrHeader, DsrSourceRoute>;
+
+// ---------------------------------------------------------------------------
+// The packet.
+// ---------------------------------------------------------------------------
+
+struct Packet {
+  std::uint64_t uid = 0;  // globally unique, assigned by the channel
+  PacketKind kind = PacketKind::Data;
+
+  NodeId src = kInvalidNode;  // end-to-end source
+  NodeId dst = kInvalidNode;  // end-to-end destination (kBroadcast for floods)
+
+  std::uint16_t ttl = 64;
+  std::uint32_t size_bytes = 64;
+
+  // Application-level identification for transport agents.
+  std::uint32_t flow_id = 0;
+  std::uint32_t seq = 0;
+  bool is_transport_ack = false;
+
+  RoutingHeader header;
+
+  /// Debug rendering, e.g. "RREQ 3->7 ttl=12".
+  std::string describe() const;
+};
+
+/// Default packet sizes (bytes), matching typical ns-2 setups.
+inline constexpr std::uint32_t kDataPacketBytes = 512;
+inline constexpr std::uint32_t kControlPacketBytes = 64;
+
+}  // namespace xfa

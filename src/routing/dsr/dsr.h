@@ -1,0 +1,88 @@
+// DSR routing agent (Johnson & Maltz), the ns-2 DSR agent equivalent.
+//
+// Implements: source-routed data delivery, flooded ROUTE REQUEST with route
+// accumulation, ROUTE REPLY from the target or from an intermediate node's
+// cache, promiscuous route learning ("notice"), ROUTE ERROR + salvaging on
+// link failure ("repair"), discovery retry with backoff, and a bounded send
+// buffer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "net/channel.h"
+#include "net/node.h"
+#include "routing/dsr/route_cache.h"
+#include "routing/route_events.h"
+#include "sim/rng.h"
+
+namespace xfa {
+
+struct DsrConfig {
+  SimTime rreq_retry_timeout = 1.0;  // doubled per retry
+  int max_rreq_retries = 2;
+  std::uint16_t net_diameter_ttl = 32;
+  SimTime purge_interval = 1.0;
+  double forward_jitter_s = 0.002;
+  std::size_t max_paths_per_dst = 3;
+  SimTime path_lifetime = 60.0;
+  bool intermediate_cache_replies = true;
+};
+
+class Dsr final : public RoutingProtocol {
+ public:
+  Dsr(Node& node, const DsrConfig& config = {});
+
+  void start() override;
+  void send_data(Packet&& pkt) override;
+  void receive(Packet pkt, NodeId from) override;
+  void tap(const Packet& pkt, NodeId from, NodeId to) override;
+  void link_failure(const Packet& pkt, NodeId to) override;
+  double average_route_length() const override;
+  std::size_t route_count() const override;
+  const char* name() const override { return "DSR"; }
+
+  const DsrRouteCache& cache() const { return cache_; }
+  const RoutingStats& stats() const { return stats_; }
+
+  /// Attack surface used by the black hole script: broadcasts a forged
+  /// one-hop ROUTE REQUEST "victim -> me" with maximum freshness, so every
+  /// overhearing neighbor reverses it into "victim is reachable through me".
+  void inject_bogus_route_advert(NodeId victim);
+
+ private:
+  void start_discovery(NodeId dst, int retries_left, std::uint32_t attempt_id);
+  void handle_rreq(Packet pkt, NodeId from);
+  void handle_rrep(Packet pkt, NodeId from);
+  void handle_rerr(Packet pkt, NodeId from);
+  void handle_data(Packet pkt, NodeId from);
+  void flush_buffer(NodeId dst);
+  /// Attaches the best cached source route and transmits. Returns false when
+  /// no route is cached.
+  bool source_route_and_send(Packet&& pkt);
+  void learn_path(std::vector<NodeId> hops, SeqNo freshness,
+                  PathOrigin origin);
+  /// Extracts the sub-path from this node to every suffix node of `route`
+  /// (standard DSR link-by-link learning), relative to `self_index`.
+  void learn_from_route(const std::vector<NodeId>& route,
+                        std::size_t self_index, SeqNo freshness,
+                        PathOrigin origin);
+  void send_rerr_to(NodeId source, NodeId broken_from, NodeId broken_to);
+  void purge_tick();
+
+  Node& node_;
+  DsrConfig config_;
+  Rng rng_;
+  DsrRouteCache cache_;
+  SendBuffer buffer_;
+  FloodIdCache rreq_seen_;
+  RoutingStats stats_;
+
+  std::uint32_t next_request_id_ = 1;
+  std::unordered_map<NodeId, std::uint32_t> pending_discovery_;
+  std::uint32_t next_attempt_id_ = 1;
+  std::unique_ptr<PeriodicTimer> purge_timer_;
+};
+
+}  // namespace xfa

@@ -1,0 +1,108 @@
+#include "routing/dsr/route_cache.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xfa {
+
+bool DsrRouteCache::add_path(std::vector<NodeId> hops, SeqNo freshness,
+                             SimTime now) {
+  if (hops.empty()) return false;
+  const NodeId dst = hops.back();
+  auto& paths = by_dst_[dst];
+
+  for (DsrCachePath& existing : paths) {
+    if (existing.hops == hops) {
+      // Duplicate: refresh timestamps/freshness only.
+      existing.learned_at = now;
+      if (freshness > existing.freshness) existing.freshness = freshness;
+      return false;
+    }
+  }
+
+  if (paths.size() >= max_paths_per_dst_) {
+    // Evict the worst path (stalest freshness, then longest, then oldest).
+    auto worst = std::min_element(
+        paths.begin(), paths.end(),
+        [](const DsrCachePath& a, const DsrCachePath& b) {
+          if (a.freshness != b.freshness) return a.freshness < b.freshness;
+          if (a.hops.size() != b.hops.size())
+            return a.hops.size() > b.hops.size();
+          return a.learned_at < b.learned_at;
+        });
+    *worst = DsrCachePath{std::move(hops), freshness, now};
+    return true;
+  }
+  paths.push_back(DsrCachePath{std::move(hops), freshness, now});
+  return true;
+}
+
+const DsrCachePath* DsrRouteCache::best_path(NodeId dst, SimTime now) const {
+  const auto it = by_dst_.find(dst);
+  if (it == by_dst_.end()) return nullptr;
+  const DsrCachePath* best = nullptr;
+  for (const DsrCachePath& path : it->second) {
+    if (expired(path, now)) continue;
+    if (best == nullptr || path.freshness > best->freshness ||
+        (path.freshness == best->freshness &&
+         path.hops.size() < best->hops.size())) {
+      best = &path;
+    }
+  }
+  return best;
+}
+
+std::size_t DsrRouteCache::remove_link(NodeId from, NodeId to, NodeId owner) {
+  std::size_t removed = 0;
+  for (auto& [dst, paths] : by_dst_) {
+    const auto uses_link = [&](const DsrCachePath& path) {
+      NodeId prev = owner;
+      for (const NodeId hop : path.hops) {
+        if (prev == from && hop == to) return true;
+        prev = hop;
+      }
+      return false;
+    };
+    const auto new_end =
+        std::remove_if(paths.begin(), paths.end(), uses_link);
+    removed += static_cast<std::size_t>(paths.end() - new_end);
+    paths.erase(new_end, paths.end());
+  }
+  return removed;
+}
+
+std::size_t DsrRouteCache::purge_expired(SimTime now) {
+  std::size_t removed = 0;
+  for (auto& [dst, paths] : by_dst_) {
+    const auto new_end = std::remove_if(
+        paths.begin(), paths.end(),
+        [&](const DsrCachePath& path) { return expired(path, now); });
+    removed += static_cast<std::size_t>(paths.end() - new_end);
+    paths.erase(new_end, paths.end());
+  }
+  return removed;
+}
+
+std::size_t DsrRouteCache::path_count(SimTime now) const {
+  std::size_t count = 0;
+  for (const auto& [dst, paths] : by_dst_)
+    for (const DsrCachePath& path : paths)
+      if (!expired(path, now)) ++count;
+  return count;
+}
+
+double DsrRouteCache::average_path_length(SimTime now) const {
+  std::size_t count = 0;
+  double total = 0;
+  for (const auto& [dst, paths] : by_dst_) {
+    for (const DsrCachePath& path : paths) {
+      if (!expired(path, now)) {
+        ++count;
+        total += static_cast<double>(path.hops.size());
+      }
+    }
+  }
+  return count == 0 ? 0.0 : total / static_cast<double>(count);
+}
+
+}  // namespace xfa

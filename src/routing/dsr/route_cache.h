@@ -1,0 +1,63 @@
+// DSR path cache: complete source routes learned from discovery, relaying
+// and promiscuous eavesdropping.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/types.h"
+
+namespace xfa {
+
+struct DsrCachePath {
+  // Path from the cache owner to the destination, *excluding* the owner
+  // itself: hops.front() is the first hop, hops.back() is the destination.
+  std::vector<NodeId> hops;
+  SeqNo freshness = 0;  // the black hole forges kMaxSeqNo here
+  SimTime learned_at = 0;
+};
+
+/// How a path entered the cache; determines the audit event the agent logs.
+enum class PathOrigin {
+  Discovery,  // ROUTE REPLY for our own request -> "add"
+  Relay,      // accumulated while relaying control     -> "notice"
+  Overheard,  // promiscuous tap                        -> "notice"
+};
+
+class DsrRouteCache {
+ public:
+  explicit DsrRouteCache(std::size_t max_paths_per_dst = 3,
+                         SimTime path_lifetime = 60.0)
+      : max_paths_per_dst_(max_paths_per_dst), path_lifetime_(path_lifetime) {}
+
+  /// Inserts a path to `hops.back()`. Returns true if the cache changed
+  /// (new path or refreshed freshness), false for duplicates/rejects.
+  bool add_path(std::vector<NodeId> hops, SeqNo freshness, SimTime now);
+
+  /// Best current path to `dst`: freshest first, then shortest, then most
+  /// recently learned. Returns nullptr if none.
+  const DsrCachePath* best_path(NodeId dst, SimTime now) const;
+
+  /// Removes every path using the directed link from->to. Returns the number
+  /// of paths removed (each is a route "remove" event).
+  std::size_t remove_link(NodeId from, NodeId to, NodeId owner);
+
+  /// Drops expired paths; returns how many were removed.
+  std::size_t purge_expired(SimTime now);
+
+  std::size_t path_count(SimTime now) const;
+  double average_path_length(SimTime now) const;
+
+ private:
+  bool expired(const DsrCachePath& path, SimTime now) const {
+    return path.learned_at + path_lifetime_ < now;
+  }
+
+  std::size_t max_paths_per_dst_;
+  SimTime path_lifetime_;
+  std::unordered_map<NodeId, std::vector<DsrCachePath>> by_dst_;
+};
+
+}  // namespace xfa

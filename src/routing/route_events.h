@@ -1,0 +1,67 @@
+// Shared helpers for routing agents: per-agent diagnostic counters and the
+// common send-buffer used while route discovery is in flight.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/types.h"
+
+namespace xfa {
+
+/// Diagnostic counters every routing agent maintains. These are *not* the
+/// IDS features (those come from the AuditLog); they exist for tests,
+/// examples and protocol-health reporting.
+struct RoutingStats {
+  std::uint64_t discoveries_started = 0;
+  std::uint64_t discoveries_succeeded = 0;
+  std::uint64_t discoveries_failed = 0;
+  std::uint64_t data_forwarded = 0;
+  std::uint64_t data_dropped_no_route = 0;
+  std::uint64_t data_dropped_malicious = 0;
+  std::uint64_t control_originated = 0;
+  std::uint64_t control_forwarded = 0;
+  std::uint64_t rerr_sent = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const RoutingStats& stats);
+
+/// Packets buffered at the source while a route is being discovered.
+/// Bounded per destination; overflow drops the oldest packet.
+class SendBuffer {
+ public:
+  explicit SendBuffer(std::size_t max_per_dst = 64)
+      : max_per_dst_(max_per_dst) {}
+
+  /// Buffers a packet; returns false (and drops the oldest) on overflow.
+  bool push(Packet&& pkt);
+
+  /// Removes and returns every packet waiting for `dst`.
+  std::vector<Packet> take(NodeId dst);
+
+  bool has_packets_for(NodeId dst) const;
+  std::size_t size_for(NodeId dst) const;
+
+ private:
+  std::size_t max_per_dst_;
+  std::unordered_map<NodeId, std::deque<Packet>> by_dst_;
+};
+
+/// Duplicate-flood suppression: remembers (origin, id) pairs with expiry.
+class FloodIdCache {
+ public:
+  explicit FloodIdCache(SimTime ttl = 30.0) : ttl_(ttl) {}
+
+  /// Returns true if this (origin, id) was already seen (and refreshes it).
+  bool seen_before(NodeId origin, std::uint32_t id, SimTime now);
+
+ private:
+  SimTime ttl_;
+  std::unordered_map<std::uint64_t, SimTime> entries_;
+};
+
+}  // namespace xfa

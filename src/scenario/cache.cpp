@@ -1,0 +1,143 @@
+#include "scenario/cache.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+namespace xfa {
+namespace {
+
+constexpr char kMagic[] = "XFATRC2";
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+template <typename T>
+void write_pod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool read_pod(std::istream& is, T& value) {
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  return static_cast<bool>(is);
+}
+
+void write_doubles(std::ostream& os, const std::vector<double>& values) {
+  write_pod(os, static_cast<std::uint64_t>(values.size()));
+  os.write(reinterpret_cast<const char*>(values.data()),
+           static_cast<std::streamsize>(values.size() * sizeof(double)));
+}
+
+bool read_doubles(std::istream& is, std::vector<double>& values) {
+  std::uint64_t count = 0;
+  if (!read_pod(is, count)) return false;
+  values.resize(count);
+  is.read(reinterpret_cast<char*>(values.data()),
+          static_cast<std::streamsize>(count * sizeof(double)));
+  return static_cast<bool>(is);
+}
+
+}  // namespace
+
+TraceCache::TraceCache(std::string directory) : directory_(std::move(directory)) {
+  if (const char* env = std::getenv("XFA_NO_CACHE");
+      env != nullptr && env[0] == '1') {
+    enabled_ = false;
+    return;
+  }
+  if (directory_.empty()) {
+    const char* env = std::getenv("XFA_CACHE_DIR");
+    directory_ = env != nullptr ? env : "xfa_cache";
+  }
+}
+
+std::string TraceCache::path_for(const std::string& key) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%016llx.trc",
+                static_cast<unsigned long long>(fnv1a(key)));
+  return directory_ + "/" + name;
+}
+
+std::optional<ScenarioResult> TraceCache::load(const std::string& key) const {
+  if (!enabled_) return std::nullopt;
+  std::ifstream is(path_for(key), std::ios::binary);
+  if (!is) return std::nullopt;
+
+  char magic[sizeof(kMagic)] = {};
+  is.read(magic, sizeof(kMagic) - 1);
+  if (!is || std::string_view(magic) != kMagic) return std::nullopt;
+
+  std::uint64_t key_size = 0;
+  if (!read_pod(is, key_size)) return std::nullopt;
+  std::string stored_key(key_size, '\0');
+  is.read(stored_key.data(), static_cast<std::streamsize>(key_size));
+  if (!is || stored_key != key) return std::nullopt;  // hash collision
+
+  ScenarioResult result;
+  if (!read_doubles(is, result.trace.times)) return std::nullopt;
+  std::uint64_t rows = 0, columns = 0;
+  if (!read_pod(is, rows) || !read_pod(is, columns)) return std::nullopt;
+  result.trace.rows.resize(rows);
+  for (auto& row : result.trace.rows) {
+    row.resize(columns);
+    is.read(reinterpret_cast<char*>(row.data()),
+            static_cast<std::streamsize>(columns * sizeof(double)));
+    if (!is) return std::nullopt;
+  }
+  ScenarioSummary& summary = result.summary;
+  if (!read_pod(is, summary.data_originated) ||
+      !read_pod(is, summary.data_delivered) ||
+      !read_pod(is, summary.packet_delivery_ratio) ||
+      !read_pod(is, summary.scheduler_events) ||
+      !read_pod(is, summary.channel) ||
+      !read_pod(is, summary.monitor_routing) ||
+      !read_pod(is, summary.monitor_audit_packets) ||
+      !read_pod(is, summary.monitor_audit_route_events))
+    return std::nullopt;
+  return result;
+}
+
+void TraceCache::store(const std::string& key,
+                       const ScenarioResult& result) const {
+  if (!enabled_) return;
+  std::error_code ec;
+  std::filesystem::create_directories(directory_, ec);
+  const std::string path = path_for(key);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) return;
+    os.write(kMagic, sizeof(kMagic) - 1);
+    write_pod(os, static_cast<std::uint64_t>(key.size()));
+    os.write(key.data(), static_cast<std::streamsize>(key.size()));
+    write_doubles(os, result.trace.times);
+    write_pod(os, static_cast<std::uint64_t>(result.trace.rows.size()));
+    const std::uint64_t columns =
+        result.trace.rows.empty() ? 0 : result.trace.rows.front().size();
+    write_pod(os, columns);
+    for (const auto& row : result.trace.rows)
+      os.write(reinterpret_cast<const char*>(row.data()),
+               static_cast<std::streamsize>(columns * sizeof(double)));
+    const ScenarioSummary& summary = result.summary;
+    write_pod(os, summary.data_originated);
+    write_pod(os, summary.data_delivered);
+    write_pod(os, summary.packet_delivery_ratio);
+    write_pod(os, summary.scheduler_events);
+    write_pod(os, summary.channel);
+    write_pod(os, summary.monitor_routing);
+    write_pod(os, summary.monitor_audit_packets);
+    write_pod(os, summary.monitor_audit_route_events);
+  }
+  std::filesystem::rename(tmp, path, ec);  // atomic publish
+}
+
+}  // namespace xfa

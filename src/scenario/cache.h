@@ -1,0 +1,33 @@
+// On-disk trace cache: a 10^4-second simulation takes seconds, and every
+// bench binary wants the same traces, so runs are persisted keyed on the
+// scenario's canonical config string.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "scenario/runner.h"
+
+namespace xfa {
+
+class TraceCache {
+ public:
+  /// `directory` empty => resolve from $XFA_CACHE_DIR, default "xfa_cache".
+  explicit TraceCache(std::string directory = {});
+
+  /// Disabled caches load nothing and store nothing (XFA_NO_CACHE=1).
+  bool enabled() const { return enabled_; }
+
+  std::optional<ScenarioResult> load(const std::string& key) const;
+  void store(const std::string& key, const ScenarioResult& result) const;
+
+  const std::string& directory() const { return directory_; }
+
+ private:
+  std::string path_for(const std::string& key) const;
+
+  std::string directory_;
+  bool enabled_ = true;
+};
+
+}  // namespace xfa

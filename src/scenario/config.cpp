@@ -1,0 +1,144 @@
+#include "scenario/config.h"
+
+#include <sstream>
+
+namespace xfa {
+namespace {
+
+void append_number(std::string& key, double value) {
+  std::ostringstream os;
+  os.precision(12);
+  os << value << ';';
+  key += os.str();
+}
+
+}  // namespace
+
+const char* to_string(RoutingKind kind) {
+  return kind == RoutingKind::Aodv ? "AODV" : "DSR";
+}
+
+const char* to_string(TransportKind kind) {
+  return kind == TransportKind::Udp ? "UDP" : "TCP";
+}
+
+const char* to_string(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::Blackhole: return "blackhole";
+    case AttackKind::SelectiveDrop: return "selective-drop";
+    case AttackKind::UpdateStorm: return "update-storm";
+    case AttackKind::RandomDrop: return "random-drop";
+  }
+  return "?";
+}
+
+ScheduleSpec ScheduleSpec::periodic_from(SimTime start, SimTime duration) {
+  ScheduleSpec spec;
+  spec.periodic = true;
+  spec.start = start;
+  spec.duration = duration;
+  return spec;
+}
+
+ScheduleSpec ScheduleSpec::session_list(
+    std::vector<std::pair<SimTime, SimTime>> sessions) {
+  ScheduleSpec spec;
+  spec.periodic = false;
+  spec.sessions = std::move(sessions);
+  return spec;
+}
+
+IntrusionSchedule ScheduleSpec::build() const {
+  if (periodic) return IntrusionSchedule::periodic(start, duration);
+  return IntrusionSchedule::sessions(sessions);
+}
+
+void ScheduleSpec::append_key(std::string& key) const {
+  key += periodic ? "P:" : "S:";
+  if (periodic) {
+    append_number(key, start);
+    append_number(key, duration);
+  } else {
+    for (const auto& [s, d] : sessions) {
+      append_number(key, s);
+      append_number(key, d);
+    }
+  }
+}
+
+void AttackSpec::append_key(std::string& key) const {
+  key += to_string(kind);
+  // Attack-script revision: bump to invalidate cached traces when a script's
+  // behaviour changes (r2: black hole floods via phantom destinations).
+  if (kind == AttackKind::Blackhole) key += ":r2";
+  key += ':';
+  append_number(key, attacker);
+  append_number(key, drop_target);
+  // Key-relevant only where it changes behaviour, so adding attack kinds
+  // never invalidates existing cached traces.
+  if (kind == AttackKind::RandomDrop) append_number(key, drop_probability);
+  schedule.append_key(key);
+}
+
+std::string ScenarioConfig::cache_key() const {
+  std::string key = "xfa-trace-v1;";
+  key += to_string(routing);
+  // Protocol implementation revision: bump to invalidate cached traces when
+  // an agent's behaviour changes.
+  key += routing == RoutingKind::Dsr ? ":r2;" : ":r1;";
+  key += to_string(transport);
+  key += ';';
+  append_number(key, static_cast<double>(node_count));
+  append_number(key, duration);
+  append_number(key, sample_interval);
+  append_number(key, static_cast<double>(seed));
+  append_number(key, static_cast<double>(traffic_seed));
+  append_number(key, static_cast<double>(mobility_seed));
+  append_number(key, monitor_node);
+  append_number(key, mobility.field_width);
+  append_number(key, mobility.field_height);
+  append_number(key, mobility.max_speed);
+  append_number(key, mobility.min_speed);
+  append_number(key, mobility.pause_time);
+  append_number(key, channel.range_m);
+  append_number(key, channel.bandwidth_bps);
+  append_number(key, channel.loss_rate);
+  append_number(key, channel.max_jitter_s);
+  key += channel.promiscuous_taps ? "T;" : "F;";
+  append_number(key, static_cast<double>(traffic.max_connections));
+  append_number(key, traffic.rate_pps);
+  append_number(key, static_cast<double>(traffic.packet_bytes));
+  append_number(key, traffic.start_window);
+  for (const AttackSpec& attack : attacks) attack.append_key(key);
+  return key;
+}
+
+std::vector<AttackSpec> mixed_attacks(SimTime session,
+                                      NodeId blackhole_attacker,
+                                      NodeId drop_attacker) {
+  AttackSpec blackhole;
+  blackhole.kind = AttackKind::Blackhole;
+  blackhole.attacker = blackhole_attacker;
+  blackhole.schedule = ScheduleSpec::periodic_from(2500, session);
+
+  AttackSpec dropper;
+  dropper.kind = AttackKind::SelectiveDrop;
+  dropper.attacker = drop_attacker;
+  dropper.drop_target = kInvalidNode;  // auto-pick a trafficked destination
+  dropper.schedule = ScheduleSpec::periodic_from(5000, session);
+
+  return {blackhole, dropper};
+}
+
+std::vector<AttackSpec> single_attack_sessions(AttackKind kind,
+                                               NodeId attacker) {
+  AttackSpec attack;
+  attack.kind = kind;
+  attack.attacker = attacker;
+  attack.drop_target = kInvalidNode;
+  attack.schedule = ScheduleSpec::session_list(
+      {{2500, 100}, {5000, 100}, {7500, 100}});
+  return {attack};
+}
+
+}  // namespace xfa

@@ -1,0 +1,101 @@
+// Scenario configuration: everything that defines one simulated trace, with
+// a canonical string form used as the trace-cache key.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attacks/onoff.h"
+#include "mobility/waypoint.h"
+#include "net/channel.h"
+#include "transport/traffic.h"
+
+namespace xfa {
+
+enum class RoutingKind : std::uint8_t { Aodv, Dsr };
+enum class TransportKind : std::uint8_t { Udp, Tcp };
+enum class AttackKind : std::uint8_t {
+  Blackhole,      // paper's evaluated route-logic attack
+  SelectiveDrop,  // paper's evaluated traffic-distortion attack
+  UpdateStorm,    // §2.3 route-logic: meaningless discovery flooding
+  RandomDrop,     // §2.3 dropping variant (probability parameter)
+};
+
+const char* to_string(RoutingKind kind);
+const char* to_string(TransportKind kind);
+const char* to_string(AttackKind kind);
+
+/// Serializable description of an IntrusionSchedule.
+struct ScheduleSpec {
+  bool periodic = true;
+  SimTime start = 2500;     // periodic form
+  SimTime duration = 200;   // session length == gap length (paper's model)
+  std::vector<std::pair<SimTime, SimTime>> sessions;  // explicit form
+
+  static ScheduleSpec periodic_from(SimTime start, SimTime duration);
+  static ScheduleSpec session_list(
+      std::vector<std::pair<SimTime, SimTime>> sessions);
+
+  IntrusionSchedule build() const;
+  void append_key(std::string& key) const;
+};
+
+struct AttackSpec {
+  AttackKind kind = AttackKind::Blackhole;
+  NodeId attacker = 1;
+  /// SelectiveDrop target; kInvalidNode = "auto": the runner picks the
+  /// destination of the first generated flow that is neither the attacker
+  /// nor the monitored node (deterministic given the seed).
+  NodeId drop_target = kInvalidNode;
+  double drop_probability = 0.5;  // RandomDrop
+  ScheduleSpec schedule;
+
+  void append_key(std::string& key) const;
+};
+
+struct ScenarioConfig {
+  RoutingKind routing = RoutingKind::Aodv;
+  TransportKind transport = TransportKind::Udp;
+  std::size_t node_count = 50;
+  SimTime duration = 10000;      // paper: "a run time of 10000 seconds"
+  SimTime sample_interval = 5;   // paper: "logged every 5 seconds"
+  /// Per-run seed: channel jitter, protocol timer staggering, CBR phase
+  /// jitter — everything ns-2's internal RNG would vary between runs.
+  std::uint64_t seed = 1;
+  /// Seed for the connection pattern alone. ns-2 methodology (and the
+  /// paper's setup) generates one cbrgen traffic file and reuses it across
+  /// the runs of an experiment.
+  std::uint64_t traffic_seed = 777;
+  /// Seed for the mobility scenario alone (the setdest file equivalent),
+  /// likewise shared across the traces of one experiment. Varying it per
+  /// trace is the "cross-scenario generalization" ablation.
+  std::uint64_t mobility_seed = 4242;
+  NodeId monitor_node = 0;       // paper: "results ... on one node only"
+
+  MobilityConfig mobility;       // paper defaults baked into MobilityConfig
+  ChannelConfig channel;
+  TrafficConfig traffic;         // max 100 connections, rate 0.25
+
+  std::vector<AttackSpec> attacks;
+
+  bool has_attacks() const { return !attacks.empty(); }
+
+  /// Canonical key covering every behaviour-relevant field; identical keys
+  /// imply identical traces.
+  std::string cache_key() const;
+};
+
+/// The paper's mixed-intrusion trace: "traces composed with black hole and
+/// packet dropping attacks, started at 2500s and 5000s respectively".
+/// Both follow the periodic on-off model with `session` seconds per phase.
+std::vector<AttackSpec> mixed_attacks(SimTime session = 200,
+                                      NodeId blackhole_attacker = 1,
+                                      NodeId drop_attacker = 2);
+
+/// The Figure-5 traces: a single attack type with "three intrusions started
+/// on 2500s, 5000s and 7500s respectively, all lasting for 100 seconds".
+std::vector<AttackSpec> single_attack_sessions(AttackKind kind,
+                                               NodeId attacker = 1);
+
+}  // namespace xfa

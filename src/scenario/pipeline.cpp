@@ -1,0 +1,188 @@
+#include "scenario/pipeline.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+#include "ml/c45.h"
+#include "ml/naive_bayes.h"
+#include "ml/ripper.h"
+
+namespace xfa {
+
+bool fast_mode_enabled() {
+  const char* env = std::getenv("XFA_FAST");
+  return env != nullptr && env[0] == '1';
+}
+
+ExperimentOptions scaled(ExperimentOptions options) {
+  constexpr double kFactor = 0.25;
+  options.duration *= kFactor;
+  for (AttackSpec& attack : options.attacks) {
+    ScheduleSpec& schedule = attack.schedule;
+    schedule.start *= kFactor;
+    schedule.duration *= kFactor;
+    for (auto& [start, duration] : schedule.sessions) {
+      start *= kFactor;
+      duration *= kFactor;
+    }
+  }
+  return options;
+}
+
+ExperimentOptions paper_mixed_options() {
+  ExperimentOptions options;  // defaults are already the paper's
+  return options;
+}
+
+ExperimentOptions paper_single_attack_options(AttackKind kind) {
+  ExperimentOptions options;
+  options.attacks = single_attack_sessions(kind);
+  return options;
+}
+
+ExperimentData gather_experiment(RoutingKind routing, TransportKind transport,
+                                 const ExperimentOptions& raw_options) {
+  const ExperimentOptions options =
+      (raw_options.fast || fast_mode_enabled()) ? scaled(raw_options)
+                                                : raw_options;
+
+  ScenarioConfig base;
+  base.routing = routing;
+  base.transport = transport;
+  base.duration = options.duration;
+
+  ExperimentData data;
+  data.base_config = base;
+
+  // Training trace: one run of normal data.
+  {
+    ScenarioConfig config = base;
+    config.seed = options.base_seed;
+    ScenarioResult result = run_scenario(config, options.label_policy);
+    data.train_normal = std::move(result.trace);
+    data.summaries.push_back(result.summary);
+  }
+  // Normal evaluation traces.
+  for (std::size_t i = 0; i < options.normal_eval_traces; ++i) {
+    ScenarioConfig config = base;
+    config.seed = options.base_seed + 1 + i;
+    ScenarioResult result = run_scenario(config, options.label_policy);
+    data.normal_eval.push_back(std::move(result.trace));
+    data.summaries.push_back(result.summary);
+  }
+  // Attack traces.
+  for (std::size_t i = 0; i < options.abnormal_traces; ++i) {
+    ScenarioConfig config = base;
+    config.seed = options.base_seed + 100 + i;
+    config.attacks = options.attacks;
+    ScenarioResult result = run_scenario(config, options.label_policy);
+    data.abnormal.push_back(std::move(result.trace));
+    data.summaries.push_back(result.summary);
+  }
+  return data;
+}
+
+Dataset to_dataset(const DiscreteTrace& trace, const FeatureSchema* schema) {
+  Dataset data;
+  data.rows = trace.rows;
+  data.cardinality = trace.cardinality;
+  if (schema != nullptr) data.names = schema->names();
+  return data;
+}
+
+std::vector<double> project(const std::vector<EventScore>& scores,
+                            ScoreKind kind) {
+  std::vector<double> values;
+  values.reserve(scores.size());
+  for (const EventScore& score : scores) values.push_back(pick(score, kind));
+  return values;
+}
+
+std::vector<EventScore> Detector::score_trace(const RawTrace& trace) const {
+  const DiscreteTrace discrete = discretizer.transform(trace);
+  return model.score_all(discrete.rows);
+}
+
+Detector train_detector(const RawTrace& train_normal,
+                        const ClassifierFactory& factory,
+                        const DetectorOptions& options,
+                        const RawTrace* threshold_normal) {
+  assert(!train_normal.rows.empty());
+  Detector detector;
+  detector.discretizer =
+      EqualFrequencyDiscretizer(options.buckets, options.min_relative_gap);
+  // "A pre-filtering process using a small random subset of normal vectors"
+  // learns the frequency distribution; 500 samples are ample for 5 buckets.
+  detector.discretizer.fit(train_normal.rows, /*max_fit_rows=*/500);
+  const DiscreteTrace discrete = detector.discretizer.transform(train_normal);
+  const Dataset dataset = to_dataset(discrete, &detector.schema);
+
+  // Label columns: everything classifiable, optionally restricted to the
+  // requested sampling periods (Set I topology features always stay).
+  std::vector<std::size_t> label_columns;
+  if (options.periods.empty()) {
+    label_columns = detector.schema.classifiable_columns();
+  } else {
+    for (std::size_t c = 1; c < detector.schema.traffic_base_column(); ++c)
+      label_columns.push_back(c);
+    const auto& specs = detector.schema.traffic_specs();
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (std::find(options.periods.begin(), options.periods.end(),
+                    specs[i].period) != options.periods.end())
+        label_columns.push_back(detector.schema.traffic_base_column() + i);
+    }
+  }
+
+  detector.model.train(dataset, label_columns, factory, options.threads);
+
+  const std::vector<EventScore> calibration_scores =
+      threshold_normal != nullptr
+          ? detector.score_trace(*threshold_normal)
+          : detector.model.score_all(discrete.rows);
+  detector.threshold_match =
+      select_threshold(project(calibration_scores, ScoreKind::MatchCount),
+                       options.false_alarm_rate);
+  detector.threshold_probability =
+      select_threshold(project(calibration_scores, ScoreKind::Probability),
+                       options.false_alarm_rate);
+  return detector;
+}
+
+ClassifierFactory make_c45_factory() {
+  return [] {
+    // Slightly larger leaves than the library default: the cross-feature
+    // sub-models need *calibrated* leaf probabilities (Algorithm 3 averages
+    // them), and 2000-row traces overfit at tiny leaf sizes.
+    C45Config config;
+    config.min_split_samples = 16;
+    return std::make_unique<C45>(config);
+  };
+}
+
+ClassifierFactory make_ripper_factory() {
+  return [] { return std::make_unique<Ripper>(); };
+}
+
+ClassifierFactory make_nbc_factory() {
+  return [] { return std::make_unique<NaiveBayes>(); };
+}
+
+std::vector<NamedFactory> paper_classifiers() {
+  return {
+      {"C4.5", make_c45_factory()},
+      {"RIPPER", make_ripper_factory()},
+      {"NBC", make_nbc_factory()},
+  };
+}
+
+std::vector<ScenarioCombo> paper_scenarios() {
+  return {
+      {RoutingKind::Aodv, TransportKind::Tcp, "AODV/TCP"},
+      {RoutingKind::Aodv, TransportKind::Udp, "AODV/UDP"},
+      {RoutingKind::Dsr, TransportKind::Tcp, "DSR/TCP"},
+      {RoutingKind::Dsr, TransportKind::Udp, "DSR/UDP"},
+  };
+}
+
+}  // namespace xfa

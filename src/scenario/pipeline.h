@@ -1,0 +1,128 @@
+// Experiment pipeline: the glue every bench and example shares.
+//
+// gather_experiment() produces the paper's trace inventory for one scenario
+// (one normal training trace, several normal evaluation traces, several
+// attack traces); train_detector() runs Algorithm 1 + threshold selection;
+// score helpers apply Algorithms 2/3 to whole traces.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cfa/model.h"
+#include "cfa/threshold.h"
+#include "features/discretize.h"
+#include "features/schema.h"
+#include "scenario/runner.h"
+
+namespace xfa {
+
+struct ExperimentOptions {
+  std::size_t normal_eval_traces = 3;
+  std::size_t abnormal_traces = 3;
+  /// Attacks injected into the abnormal traces; defaults to the paper's
+  /// mixed black hole @2500 s + selective dropping @5000 s.
+  std::vector<AttackSpec> attacks = mixed_attacks();
+  SimTime duration = 10000;
+  std::uint64_t base_seed = 1000;
+  LabelPolicy label_policy = LabelPolicy::OnsetOnwards;
+  /// Fast mode divides duration and all schedule times by 4 (keeps onset
+  /// proportions). Enabled when XFA_FAST=1, see fast_mode_enabled().
+  bool fast = false;
+};
+
+/// True when the environment requests scaled-down experiments (XFA_FAST=1).
+bool fast_mode_enabled();
+
+/// Canonical options for the paper's mixed-intrusion evaluation (Figures
+/// 1-4): 10^4-second traces, black hole @2500 s + selective dropping
+/// @5000 s, 3 normal evaluation traces, 3 attack traces. Every bench uses
+/// exactly these so the trace cache is shared.
+ExperimentOptions paper_mixed_options();
+
+/// Canonical options for the per-attack evaluation (Figures 5-6): one attack
+/// type, three 100-second sessions at 2500/5000/7500 s.
+ExperimentOptions paper_single_attack_options(AttackKind kind);
+
+/// Applies the x0.25 fast scaling to a spec's duration and schedules.
+ExperimentOptions scaled(ExperimentOptions options);
+
+struct ExperimentData {
+  ScenarioConfig base_config;  // the training-trace config
+  RawTrace train_normal;
+  std::vector<RawTrace> normal_eval;
+  std::vector<RawTrace> abnormal;
+  std::vector<ScenarioSummary> summaries;  // train, then eval, then abnormal
+};
+
+/// Simulates (or loads) the full trace inventory for one scenario.
+ExperimentData gather_experiment(RoutingKind routing, TransportKind transport,
+                                 const ExperimentOptions& options);
+
+/// A trained cross-feature detector: discretizer + L sub-models + the two
+/// thresholds (one per combination rule), selected on the training trace at
+/// the given confidence level.
+struct Detector {
+  FeatureSchema schema = FeatureSchema::standard();
+  EqualFrequencyDiscretizer discretizer;
+  CrossFeatureModel model;
+  double threshold_match = 0;
+  double threshold_probability = 0;
+
+  double threshold(ScoreKind kind) const {
+    return kind == ScoreKind::MatchCount ? threshold_match
+                                         : threshold_probability;
+  }
+
+  /// Discretizes and scores a raw trace.
+  std::vector<EventScore> score_trace(const RawTrace& trace) const;
+};
+
+struct DetectorOptions {
+  int buckets = 5;                 // paper: "we choose the bucket number to be 5"
+  double min_relative_gap = 0.25;  // discretizer cut-separation guard
+  double false_alarm_rate = 0.02;  // confidence level = 1 - FAR
+  std::size_t threads = 0;         // 0 = hardware concurrency
+  /// Sampling periods to keep (ablation B); empty = the standard {5,60,900}.
+  std::vector<SimTime> periods;
+};
+
+/// Algorithm 1 + threshold selection. Thresholds are the FAR-quantile of
+/// scores on `threshold_normal` when given (a held-out normal trace — the
+/// paper's "computing [score] values on all normal events"), otherwise of
+/// the in-sample training scores.
+Detector train_detector(const RawTrace& train_normal,
+                        const ClassifierFactory& factory,
+                        const DetectorOptions& options = {},
+                        const RawTrace* threshold_normal = nullptr);
+
+/// Converts a discretized trace into the classifier Dataset format.
+Dataset to_dataset(const DiscreteTrace& trace,
+                   const FeatureSchema* schema = nullptr);
+
+/// Projects one score kind out of per-event scores.
+std::vector<double> project(const std::vector<EventScore>& scores,
+                            ScoreKind kind);
+
+/// Standard classifier factories used across the evaluation.
+ClassifierFactory make_c45_factory();
+ClassifierFactory make_ripper_factory();
+ClassifierFactory make_nbc_factory();
+
+struct NamedFactory {
+  std::string name;
+  ClassifierFactory factory;
+};
+/// The paper's three classifiers, in presentation order.
+std::vector<NamedFactory> paper_classifiers();
+
+/// The paper's four scenario combinations, in presentation order.
+struct ScenarioCombo {
+  RoutingKind routing;
+  TransportKind transport;
+  std::string name;  // e.g. "AODV/TCP"
+};
+std::vector<ScenarioCombo> paper_scenarios();
+
+}  // namespace xfa

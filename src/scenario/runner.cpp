@@ -1,0 +1,228 @@
+#include "scenario/runner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <vector>
+
+#include "attacks/blackhole.h"
+#include "attacks/drop_variants.h"
+#include "attacks/dropper.h"
+#include "attacks/storm.h"
+#include "net/node.h"
+#include "routing/aodv/aodv.h"
+#include "routing/dsr/dsr.h"
+#include "scenario/cache.h"
+#include "sim/simulator.h"
+#include "transport/cbr.h"
+#include "transport/tcp.h"
+
+namespace xfa {
+namespace {
+
+/// Resolves an "auto" selective-drop target: the destination of the first
+/// generated flow whose endpoint is not the attacker itself, so the attack
+/// actually intersects traffic. Deterministic given the seed.
+NodeId resolve_drop_target(const std::vector<Flow>& flows, NodeId attacker,
+                           std::size_t node_count) {
+  for (const Flow& flow : flows)
+    if (flow.dst != attacker) return flow.dst;
+  return static_cast<NodeId>((attacker + 1) % node_count);
+}
+
+ScenarioResult simulate(const ScenarioConfig& config) {
+  assert(config.node_count >= 2);
+  assert(config.monitor_node >= 0 &&
+         static_cast<std::size_t>(config.monitor_node) < config.node_count);
+
+  Simulator sim(config.seed);
+  // The mobility scenario has its own seed (shared across an experiment's
+  // traces, like a reused setdest file).
+  RandomWaypointMobility mobility(config.node_count, config.mobility,
+                                  Rng(config.mobility_seed));
+
+  ChannelConfig channel_config = config.channel;
+  // AODV never consumes promiscuous taps; skip generating them.
+  channel_config.promiscuous_taps = config.routing == RoutingKind::Dsr;
+  Channel channel(sim, mobility, channel_config);
+
+  std::vector<std::unique_ptr<Node>> nodes;
+  nodes.reserve(config.node_count);
+  for (std::size_t i = 0; i < config.node_count; ++i) {
+    nodes.push_back(
+        std::make_unique<Node>(sim, channel, static_cast<NodeId>(i)));
+    channel.register_node(*nodes.back());
+    if (config.routing == RoutingKind::Aodv) {
+      nodes.back()->set_routing(std::make_unique<Aodv>(*nodes.back()));
+    } else {
+      nodes.back()->set_routing(std::make_unique<Dsr>(*nodes.back()));
+    }
+  }
+  nodes[static_cast<std::size_t>(config.monitor_node)]->enable_audit(true);
+  for (auto& node : nodes) node->routing().start();
+
+  // --- Traffic -----------------------------------------------------------
+  // Drawn from its own seed so the connection pattern is shared by every
+  // trace of a scenario (the reused-cbrgen-file convention); per-run
+  // variation comes from mobility and channel jitter.
+  Rng traffic_rng(config.traffic_seed);
+  const std::vector<Flow> flows =
+      generate_connection_pattern(config.node_count, config.traffic,
+                                  traffic_rng);
+  std::vector<std::unique_ptr<CbrSource>> cbr_sources;
+  std::vector<std::unique_ptr<CbrSink>> cbr_sinks;
+  std::vector<std::unique_ptr<TcpSource>> tcp_sources;
+  std::vector<std::unique_ptr<TcpSink>> tcp_sinks;
+  for (const Flow& flow : flows) {
+    Node& src = *nodes[static_cast<std::size_t>(flow.src)];
+    Node& dst = *nodes[static_cast<std::size_t>(flow.dst)];
+    if (config.transport == TransportKind::Udp) {
+      cbr_sinks.push_back(std::make_unique<CbrSink>(dst, flow.flow_id));
+      cbr_sources.push_back(std::make_unique<CbrSource>(
+          src, flow.dst, flow.flow_id, config.traffic.rate_pps,
+          config.traffic.packet_bytes, flow.start, config.duration));
+    } else {
+      TcpConfig tcp_config;
+      tcp_config.segment_bytes = config.traffic.packet_bytes;
+      tcp_config.app_rate_pps = config.traffic.rate_pps;
+      tcp_sinks.push_back(
+          std::make_unique<TcpSink>(dst, flow.flow_id, flow.src, tcp_config));
+      tcp_sources.push_back(std::make_unique<TcpSource>(
+          src, flow.dst, flow.flow_id, flow.start, tcp_config));
+    }
+  }
+
+  // --- Attacks -----------------------------------------------------------
+  std::vector<std::unique_ptr<BlackholeAttack>> blackholes;
+  std::vector<std::unique_ptr<SelectiveDropAttack>> droppers;
+  std::vector<std::unique_ptr<UpdateStormAttack>> storms;
+  std::vector<std::unique_ptr<DropAttack>> drop_variants;
+  for (const AttackSpec& spec : config.attacks) {
+    Node& attacker = *nodes[static_cast<std::size_t>(spec.attacker)];
+    switch (spec.kind) {
+      case AttackKind::Blackhole:
+        blackholes.push_back(std::make_unique<BlackholeAttack>(
+            attacker, spec.schedule.build()));
+        blackholes.back()->start();
+        break;
+      case AttackKind::SelectiveDrop: {
+        const NodeId target =
+            spec.drop_target != kInvalidNode
+                ? spec.drop_target
+                : resolve_drop_target(flows, spec.attacker,
+                                      config.node_count);
+        droppers.push_back(std::make_unique<SelectiveDropAttack>(
+            attacker, target, spec.schedule.build()));
+        droppers.back()->start();
+        break;
+      }
+      case AttackKind::UpdateStorm:
+        storms.push_back(std::make_unique<UpdateStormAttack>(
+            attacker, spec.schedule.build()));
+        storms.back()->start();
+        break;
+      case AttackKind::RandomDrop: {
+        DropSpec drop_spec;
+        drop_spec.mode = DropMode::Random;
+        drop_spec.probability = spec.drop_probability;
+        drop_variants.push_back(std::make_unique<DropAttack>(
+            attacker, drop_spec, spec.schedule.build()));
+        drop_variants.back()->start();
+        break;
+      }
+    }
+  }
+
+  // --- Per-sample monitored-node state ------------------------------------
+  Node& monitor = *nodes[static_cast<std::size_t>(config.monitor_node)];
+  SampledNodeState state;
+  const std::size_t samples = static_cast<std::size_t>(
+      config.duration / config.sample_interval + 1e-9);
+  state.velocity.reserve(samples);
+  state.average_route_len.reserve(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const SimTime t = config.sample_interval * static_cast<double>(i + 1);
+    sim.at(t, [&state, &mobility, &monitor, &config, t] {
+      state.velocity.push_back(mobility.speed(config.monitor_node, t));
+      state.average_route_len.push_back(
+          monitor.routing().average_route_length());
+    });
+  }
+
+  sim.run_until(config.duration);
+
+  // --- Extraction ---------------------------------------------------------
+  const FeatureSchema schema = FeatureSchema::standard();
+  FeatureExtractor extractor(schema, config.sample_interval);
+  ScenarioResult result;
+  result.trace = extractor.extract(monitor.audit(), state, config.duration);
+
+  ScenarioSummary& summary = result.summary;
+  for (const auto& node : nodes) {
+    summary.data_originated += node->data_originated();
+    summary.data_delivered += node->data_delivered();
+  }
+  summary.packet_delivery_ratio =
+      summary.data_originated == 0
+          ? 0.0
+          : static_cast<double>(summary.data_delivered) /
+                static_cast<double>(summary.data_originated);
+  summary.scheduler_events = sim.scheduler().dispatched();
+  summary.channel = channel.stats();
+  if (const auto* aodv = dynamic_cast<const Aodv*>(&monitor.routing())) {
+    summary.monitor_routing = aodv->stats();
+  } else if (const auto* dsr = dynamic_cast<const Dsr*>(&monitor.routing())) {
+    summary.monitor_routing = dsr->stats();
+  }
+  summary.monitor_audit_packets = monitor.audit().total_packet_records();
+  summary.monitor_audit_route_events = monitor.audit().total_route_events();
+  return result;
+}
+
+}  // namespace
+
+void apply_labels(RawTrace& trace, const ScenarioConfig& config,
+                  LabelPolicy policy) {
+  trace.labels.assign(trace.size(), 0);
+  if (!config.has_attacks()) return;
+
+  std::vector<IntrusionSchedule> schedules;
+  schedules.reserve(config.attacks.size());
+  SimTime first_onset = kNever;
+  for (const AttackSpec& spec : config.attacks) {
+    schedules.push_back(spec.schedule.build());
+    first_onset = std::min(first_onset, schedules.back().first_start());
+  }
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const SimTime t = trace.times[i];
+    if (policy == LabelPolicy::OnsetOnwards) {
+      trace.labels[i] = t > first_onset ? 1 : 0;
+    } else {
+      const SimTime window_start = t - config.sample_interval;
+      for (const IntrusionSchedule& schedule : schedules) {
+        if (schedule.active_in(window_start, t)) {
+          trace.labels[i] = 1;
+          break;
+        }
+      }
+    }
+  }
+}
+
+ScenarioResult run_scenario(const ScenarioConfig& config, LabelPolicy policy) {
+  // Constructed per call (cheap: two getenv lookups) so tests can toggle
+  // XFA_NO_CACHE at runtime.
+  const TraceCache cache;
+  const std::string key = config.cache_key();
+  if (auto cached = cache.load(key)) {
+    apply_labels(cached->trace, config, policy);
+    return std::move(*cached);
+  }
+  ScenarioResult result = simulate(config);
+  cache.store(key, result);
+  apply_labels(result.trace, config, policy);
+  return result;
+}
+
+}  // namespace xfa

@@ -1,0 +1,57 @@
+#include "sim/scheduler.h"
+
+#include <cassert>
+#include <utility>
+
+namespace xfa {
+
+EventId Scheduler::schedule_at(SimTime at, std::function<void()> fn) {
+  assert(at >= now_ && "cannot schedule into the past");
+  assert(fn && "null event callback");
+  const EventId id = next_id_++;
+  queue_.push(Entry{at, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+EventId Scheduler::schedule_in(SimTime delay, std::function<void()> fn) {
+  assert(delay >= 0);
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Scheduler::cancel(EventId id) {
+  const auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  ++cancelled_pending_;
+  return true;
+}
+
+void Scheduler::dispatch_next() {
+  const Entry entry = queue_.top();
+  queue_.pop();
+  const auto it = callbacks_.find(entry.id);
+  if (it == callbacks_.end()) {
+    // Cancelled event: discard silently.
+    assert(cancelled_pending_ > 0);
+    --cancelled_pending_;
+    return;
+  }
+  now_ = entry.at;
+  // Move out before invoking: the callback may schedule/cancel re-entrantly.
+  auto fn = std::move(it->second);
+  callbacks_.erase(it);
+  ++dispatched_;
+  fn();
+}
+
+void Scheduler::run_until(SimTime until) {
+  while (!queue_.empty() && queue_.top().at <= until) dispatch_next();
+  if (now_ < until) now_ = until;
+}
+
+void Scheduler::run() {
+  while (!queue_.empty()) dispatch_next();
+}
+
+}  // namespace xfa

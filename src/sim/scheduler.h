@@ -1,0 +1,76 @@
+// Discrete-event scheduler: the heart of the ns-2 replacement.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace xfa {
+
+/// Opaque handle identifying a scheduled event, usable for cancellation.
+using EventId = std::uint64_t;
+
+/// A time-ordered queue of callbacks. Events scheduled for the same time fire
+/// in scheduling order (FIFO), which keeps runs deterministic.
+class Scheduler {
+ public:
+  Scheduler() = default;
+
+  /// Current simulation time; advances only inside run loops.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `at` (>= now). Returns an id that
+  /// can be passed to cancel().
+  EventId schedule_at(SimTime at, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` seconds from now (delay >= 0).
+  EventId schedule_in(SimTime delay, std::function<void()> fn);
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown id is a
+  /// no-op. Returns true if the event was pending.
+  bool cancel(EventId id);
+
+  /// Runs events until the queue is empty or simulated time would pass
+  /// `until`; the clock ends at `until` if the queue drains earlier.
+  void run_until(SimTime until);
+
+  /// Runs until the queue is empty.
+  void run();
+
+  /// Number of events dispatched so far (diagnostic).
+  std::uint64_t dispatched() const { return dispatched_; }
+
+  /// Number of events currently pending (includes cancelled-but-unpopped).
+  std::size_t pending() const { return queue_.size() - cancelled_pending_; }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;  // tie-break: FIFO among same-time events
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void dispatch_next();
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t dispatched_ = 0;
+  std::size_t cancelled_pending_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  // Callback storage; erased on dispatch or cancel. An entry popped from the
+  // queue with no callback here was cancelled.
+  std::unordered_map<EventId, std::function<void()>> callbacks_;
+};
+
+}  // namespace xfa

@@ -1,0 +1,27 @@
+#include "sim/simulator.h"
+
+namespace xfa {
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+
+void PeriodicTimer::start(SimTime initial_delay) {
+  stop();
+  armed_ = true;
+  const SimTime delay = initial_delay < 0 ? interval_ : initial_delay;
+  pending_ = sim_.after(delay, [this] { fire(); });
+}
+
+void PeriodicTimer::stop() {
+  if (armed_) {
+    sim_.cancel(pending_);
+    armed_ = false;
+  }
+}
+
+void PeriodicTimer::fire() {
+  // Reschedule before invoking so fn_ may stop() the timer.
+  pending_ = sim_.after(interval_, [this] { fire(); });
+  fn_();
+}
+
+}  // namespace xfa

@@ -1,0 +1,77 @@
+// Simulator: the top-level context owning the clock and the root RNG.
+//
+// A Simulator is the ns-2 "Scheduler + Simulator object" equivalent. All
+// subsystems hold a reference to it for time, event scheduling and
+// reproducible randomness.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/rng.h"
+#include "sim/scheduler.h"
+#include "sim/types.h"
+
+namespace xfa {
+
+class Simulator {
+ public:
+  /// `seed` drives every random decision made during the run.
+  explicit Simulator(std::uint64_t seed = 1);
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return scheduler_.now(); }
+  Scheduler& scheduler() { return scheduler_; }
+
+  /// Root RNG; prefer fork_rng() for subsystems.
+  Rng& rng() { return rng_; }
+
+  /// Independent RNG stream derived from the root seed.
+  Rng fork_rng() { return rng_.fork(); }
+
+  EventId at(SimTime time, std::function<void()> fn) {
+    return scheduler_.schedule_at(time, std::move(fn));
+  }
+  EventId after(SimTime delay, std::function<void()> fn) {
+    return scheduler_.schedule_in(delay, std::move(fn));
+  }
+  bool cancel(EventId id) { return scheduler_.cancel(id); }
+
+  void run_until(SimTime until) { scheduler_.run_until(until); }
+  void run() { scheduler_.run(); }
+
+ private:
+  Scheduler scheduler_;
+  Rng rng_;
+};
+
+/// A repeating timer helper: reschedules itself every `interval` seconds
+/// until stop() is called or the owner is destroyed.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulator& sim, SimTime interval, std::function<void()> fn)
+      : sim_(sim), interval_(interval), fn_(std::move(fn)) {}
+  ~PeriodicTimer() { stop(); }
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  /// Arms the timer; first firing after `initial_delay` (defaults to the
+  /// interval itself).
+  void start(SimTime initial_delay = -1);
+  void stop();
+  bool running() const { return armed_; }
+
+ private:
+  void fire();
+
+  Simulator& sim_;
+  SimTime interval_;
+  std::function<void()> fn_;
+  EventId pending_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace xfa

@@ -1,0 +1,24 @@
+// Fundamental simulation types shared across all subsystems.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace xfa {
+
+/// Simulation clock time, in seconds from simulation start.
+using SimTime = double;
+
+/// A node's network address. Nodes are numbered 0..N-1.
+using NodeId = std::int32_t;
+
+/// Sentinel meaning "no node" / broadcast depending on context.
+inline constexpr NodeId kInvalidNode = -1;
+
+/// Link-layer broadcast address.
+inline constexpr NodeId kBroadcast = -2;
+
+/// "Infinitely far in the future" for timers that are not armed.
+inline constexpr SimTime kNever = std::numeric_limits<SimTime>::infinity();
+
+}  // namespace xfa

@@ -1,0 +1,40 @@
+#include "transport/cbr.h"
+
+#include <cassert>
+
+namespace xfa {
+
+CbrSink::CbrSink(Node& node, std::uint32_t flow_id) {
+  node.register_sink(flow_id, this);
+}
+
+void CbrSink::deliver(const Packet& pkt) {
+  (void)pkt;
+  ++received_;
+}
+
+CbrSource::CbrSource(Node& node, NodeId dst, std::uint32_t flow_id,
+                     double rate_pps, std::uint32_t packet_bytes,
+                     SimTime start, SimTime stop)
+    : node_(node),
+      dst_(dst),
+      flow_id_(flow_id),
+      interval_(1.0 / rate_pps),
+      packet_bytes_(packet_bytes),
+      stop_(stop),
+      rng_(node.sim().fork_rng()) {
+  assert(rate_pps > 0);
+  node_.sim().at(start, [this] { send_next(); });
+}
+
+void CbrSource::send_next() {
+  if (node_.sim().now() >= stop_) return;
+  node_.send_data(dst_, flow_id_, next_seq_++, packet_bytes_,
+                  /*is_ack=*/false);
+  ++sent_;
+  // Small jitter keeps independent sources from phase-locking.
+  const SimTime next = interval_ * rng_.uniform(0.98, 1.02);
+  node_.sim().after(next, [this] { send_next(); });
+}
+
+}  // namespace xfa

@@ -1,0 +1,49 @@
+// Constant bit rate source/sink over UDP semantics (ns-2's Agent/UDP + CBR).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/node.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace xfa {
+
+/// Counts in-order delivery at the destination.
+class CbrSink final : public TransportSink {
+ public:
+  /// Registers itself on `node` for `flow_id`.
+  CbrSink(Node& node, std::uint32_t flow_id);
+
+  void deliver(const Packet& pkt) override;
+
+  std::uint64_t packets_received() const { return received_; }
+
+ private:
+  std::uint64_t received_ = 0;
+};
+
+/// Fires a fixed-size packet every 1/rate seconds from `start` to `stop`.
+class CbrSource {
+ public:
+  CbrSource(Node& node, NodeId dst, std::uint32_t flow_id, double rate_pps,
+            std::uint32_t packet_bytes, SimTime start, SimTime stop);
+
+  std::uint64_t packets_sent() const { return sent_; }
+
+ private:
+  void send_next();
+
+  Node& node_;
+  NodeId dst_;
+  std::uint32_t flow_id_;
+  double interval_;
+  std::uint32_t packet_bytes_;
+  SimTime stop_;
+  Rng rng_;
+  std::uint32_t next_seq_ = 0;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace xfa

@@ -1,0 +1,118 @@
+#include "transport/tcp.h"
+
+#include <algorithm>
+
+namespace xfa {
+
+TcpSink::TcpSink(Node& node, std::uint32_t flow_id, NodeId peer,
+                 const TcpConfig& config)
+    : node_(node), flow_id_(flow_id), peer_(peer), config_(config) {
+  node_.register_sink(flow_id_, this);
+}
+
+void TcpSink::deliver(const Packet& pkt) {
+  if (pkt.is_transport_ack) return;  // not expected at the sink
+  ++received_;
+  if (pkt.seq == rcv_next_) {
+    ++rcv_next_;
+    // Drain any contiguous out-of-order segments.
+    auto it = out_of_order_.begin();
+    while (it != out_of_order_.end() && *it == rcv_next_) {
+      ++rcv_next_;
+      it = out_of_order_.erase(it);
+    }
+  } else if (pkt.seq > rcv_next_) {
+    out_of_order_.insert(pkt.seq);
+  }
+  // Cumulative ACK carries the next expected sequence number.
+  node_.send_data(peer_, flow_id_, rcv_next_, config_.ack_bytes,
+                  /*is_ack=*/true);
+}
+
+TcpSource::TcpSource(Node& node, NodeId dst, std::uint32_t flow_id,
+                     SimTime start, const TcpConfig& config)
+    : node_(node),
+      dst_(dst),
+      flow_id_(flow_id),
+      config_(config),
+      cwnd_(config.initial_cwnd),
+      ssthresh_(config.initial_ssthresh),
+      rto_(config.initial_rto) {
+  node_.register_sink(flow_id_, this);
+  node_.sim().at(start, [this] {
+    app_timer_ = std::make_unique<PeriodicTimer>(
+        node_.sim(), 1.0 / config_.app_rate_pps, [this] {
+          ++available_;
+          try_send();
+        });
+    app_timer_->start(0);
+  });
+}
+
+void TcpSource::try_send() {
+  bool sent_any = false;
+  while (snd_next_ < available_ &&
+         static_cast<double>(snd_next_ - snd_una_) <
+             std::min(cwnd_, config_.max_cwnd)) {
+    node_.send_data(dst_, flow_id_, snd_next_++, config_.segment_bytes,
+                    /*is_ack=*/false);
+    ++sent_;
+    sent_any = true;
+  }
+  if (sent_any && !rto_armed_) arm_rto();
+}
+
+void TcpSource::arm_rto() {
+  rto_armed_ = true;
+  const std::uint64_t epoch = ++rto_epoch_;
+  node_.sim().after(rto_, [this, epoch] { on_rto(epoch); });
+}
+
+void TcpSource::on_rto(std::uint64_t epoch) {
+  if (epoch != rto_epoch_) return;  // stale timer
+  rto_armed_ = false;
+  if (snd_una_ == snd_next_) return;  // everything acknowledged meanwhile
+  // Timeout: multiplicative backoff, shrink to one segment, retransmit.
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+  cwnd_ = 1.0;
+  rto_ = std::min(rto_ * 2.0, config_.max_rto);
+  dupacks_ = 0;
+  retransmit_una();
+  arm_rto();
+}
+
+void TcpSource::retransmit_una() {
+  node_.send_data(dst_, flow_id_, snd_una_, config_.segment_bytes,
+                  /*is_ack=*/false);
+  ++sent_;
+}
+
+void TcpSource::deliver(const Packet& pkt) {
+  if (!pkt.is_transport_ack) return;  // not expected at the source
+  const std::uint32_t ack = pkt.seq;
+  if (ack > snd_una_) {
+    snd_una_ = ack;
+    dupacks_ = 0;
+    rto_ = config_.initial_rto;  // fresh progress resets backoff
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += 1.0;  // slow start
+    } else {
+      cwnd_ += 1.0 / cwnd_;  // congestion avoidance
+    }
+    // Re-arm the timer for remaining in-flight data.
+    rto_epoch_++;
+    rto_armed_ = false;
+    if (snd_una_ != snd_next_) arm_rto();
+    try_send();
+  } else if (ack == snd_una_ && snd_una_ != snd_next_) {
+    if (++dupacks_ == config_.dupack_threshold) {
+      // Fast retransmit / recovery (Reno-flavoured).
+      ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+      cwnd_ = ssthresh_;
+      dupacks_ = 0;
+      retransmit_una();
+    }
+  }
+}
+
+}  // namespace xfa

@@ -1,0 +1,35 @@
+#include "transport/traffic.h"
+
+#include <set>
+
+namespace xfa {
+
+std::vector<Flow> generate_connection_pattern(std::size_t node_count,
+                                              const TrafficConfig& config,
+                                              Rng& rng) {
+  std::vector<Flow> flows;
+  if (node_count < 2) return flows;
+
+  // At most one flow per ordered pair; with few nodes the pair space itself
+  // bounds the number of connections.
+  const std::size_t pair_space = node_count * (node_count - 1);
+  const std::size_t target = std::min(config.max_connections, pair_space);
+
+  std::set<std::pair<NodeId, NodeId>> used;
+  std::uint32_t next_id = 1;
+  while (flows.size() < target) {
+    const NodeId src = static_cast<NodeId>(rng.uniform_int(node_count));
+    NodeId dst = static_cast<NodeId>(rng.uniform_int(node_count - 1));
+    if (dst >= src) ++dst;
+    if (!used.emplace(src, dst).second) continue;
+    Flow flow;
+    flow.flow_id = next_id++;
+    flow.src = src;
+    flow.dst = dst;
+    flow.start = rng.uniform(0, config.start_window);
+    flows.push_back(flow);
+  }
+  return flows;
+}
+
+}  // namespace xfa

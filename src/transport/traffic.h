@@ -1,0 +1,36 @@
+// Connection pattern generation (the cbrgen.tcl equivalent).
+//
+// Produces the random source/destination pairs and staggered start times the
+// paper's setup describes ("the maximum number of connections is set to be
+// 100, traffic rate is 0.25").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/types.h"
+
+namespace xfa {
+
+struct Flow {
+  std::uint32_t flow_id = 0;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  SimTime start = 0;
+};
+
+struct TrafficConfig {
+  std::size_t max_connections = 100;
+  double rate_pps = 0.25;          // packets per second per connection (CBR)
+  std::uint32_t packet_bytes = 512;
+  SimTime start_window = 180.0;    // starts staggered uniformly over this
+};
+
+/// Draws up to `max_connections` distinct (src, dst) pairs among `node_count`
+/// nodes. A node may appear in several flows; src != dst always.
+std::vector<Flow> generate_connection_pattern(std::size_t node_count,
+                                              const TrafficConfig& config,
+                                              Rng& rng);
+
+}  // namespace xfa

@@ -1,0 +1,296 @@
+// Unit tests: intrusion schedules, black hole and selective dropping scripts.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "attacks/blackhole.h"
+#include "attacks/drop_variants.h"
+#include "attacks/dropper.h"
+#include "attacks/impersonation.h"
+#include "attacks/onoff.h"
+#include "attacks/storm.h"
+#include "mobility/static.h"
+#include "net/channel.h"
+#include "net/node.h"
+#include "routing/aodv/aodv.h"
+#include "routing/dsr/dsr.h"
+#include "sim/simulator.h"
+#include "transport/cbr.h"
+
+namespace xfa {
+namespace {
+
+TEST(IntrusionSchedule, PeriodicOnOffEqualPhases) {
+  const auto schedule = IntrusionSchedule::periodic(100, 50);
+  EXPECT_FALSE(schedule.active(99));
+  EXPECT_TRUE(schedule.active(100));
+  EXPECT_TRUE(schedule.active(149));
+  EXPECT_FALSE(schedule.active(150));  // off phase, same length
+  EXPECT_FALSE(schedule.active(199));
+  EXPECT_TRUE(schedule.active(200));  // next session
+  EXPECT_DOUBLE_EQ(schedule.first_start(), 100);
+}
+
+TEST(IntrusionSchedule, PeriodicWithEnd) {
+  const auto schedule = IntrusionSchedule::periodic(100, 50, 250);
+  EXPECT_TRUE(schedule.active(200));
+  EXPECT_FALSE(schedule.active(300));
+}
+
+TEST(IntrusionSchedule, SessionsList) {
+  const auto schedule =
+      IntrusionSchedule::sessions({{2500, 100}, {5000, 100}, {7500, 100}});
+  EXPECT_FALSE(schedule.active(2499));
+  EXPECT_TRUE(schedule.active(2500));
+  EXPECT_TRUE(schedule.active(2599));
+  EXPECT_FALSE(schedule.active(2600));
+  EXPECT_TRUE(schedule.active(5050));
+  EXPECT_TRUE(schedule.active(7599));
+  EXPECT_FALSE(schedule.active(9000));
+  EXPECT_DOUBLE_EQ(schedule.first_start(), 2500);
+}
+
+TEST(IntrusionSchedule, NeverIsNeverActive) {
+  const auto schedule = IntrusionSchedule::never();
+  EXPECT_FALSE(schedule.active(0));
+  EXPECT_FALSE(schedule.active(1e9));
+  EXPECT_EQ(schedule.first_start(), kNever);
+}
+
+TEST(IntrusionSchedule, ActiveInWindow) {
+  const auto schedule = IntrusionSchedule::sessions({{100, 10}});
+  EXPECT_TRUE(schedule.active_in(95, 105));   // overlaps start
+  EXPECT_TRUE(schedule.active_in(105, 115));  // overlaps end
+  EXPECT_FALSE(schedule.active_in(80, 95));
+  EXPECT_FALSE(schedule.active_in(115, 130));
+
+  const auto periodic = IntrusionSchedule::periodic(100, 50);
+  EXPECT_TRUE(periodic.active_in(140, 160));   // tail of session 1
+  EXPECT_FALSE(periodic.active_in(160, 190));  // strictly inside off phase
+  EXPECT_TRUE(periodic.active_in(190, 210));   // wraps into session 2
+}
+
+// --- Attack scripts on a fixed topology. ----------------------------------
+
+template <typename Protocol>
+struct AttackRig {
+  AttackRig(std::size_t n, double spacing)
+      : sim(31), mobility(StaticPositions::line(n, spacing)) {
+    ChannelConfig config;
+    config.max_jitter_s = 0.0005;
+    config.promiscuous_taps = std::is_same_v<Protocol, Dsr>;
+    channel = std::make_unique<Channel>(sim, mobility, config);
+    for (NodeId i = 0; i < static_cast<NodeId>(n); ++i) {
+      nodes.push_back(std::make_unique<Node>(sim, *channel, i));
+      channel->register_node(*nodes.back());
+      nodes.back()->enable_audit(true);
+      nodes.back()->set_routing(std::make_unique<Protocol>(*nodes.back()));
+      nodes.back()->routing().start();
+    }
+  }
+  Node& node(NodeId id) { return *nodes[static_cast<std::size_t>(id)]; }
+
+  Simulator sim;
+  StaticPositions mobility;
+  std::unique_ptr<Channel> channel;
+  std::vector<std::unique_ptr<Node>> nodes;
+};
+
+TEST(BlackholeAttackTest, AodvAbsorbsTrafficWhileActive) {
+  // Chain 0-1-2; node 1 is compromised from t=10 onward.
+  AttackRig<Aodv> rig(3, 200);
+  CbrSink sink(rig.node(2), 1);
+  BlackholeAttack attack(rig.node(1),
+                         IntrusionSchedule::sessions({{10, 1000}}));
+  attack.start();
+
+  // Before the attack: traffic flows.
+  CbrSource source(rig.node(0), 2, 1, 1.0, 512, 0.5, 200.0);
+  rig.sim.run_until(9.0);
+  const auto before = sink.packets_received();
+  EXPECT_GT(before, 5u);
+
+  rig.sim.run_until(100.0);
+  const auto during = sink.packets_received() - before;
+  // Nearly everything dies in the black hole.
+  EXPECT_LT(during, 10u);
+  EXPECT_GT(attack.adverts_sent(), 0u);
+}
+
+TEST(BlackholeAttackTest, InactiveOutsideSessions) {
+  AttackRig<Aodv> rig(3, 200);
+  CbrSink sink(rig.node(2), 1);
+  BlackholeAttack attack(rig.node(1),
+                         IntrusionSchedule::sessions({{1000, 10}}));
+  attack.start();
+  CbrSource source(rig.node(0), 2, 1, 1.0, 512, 0.5, 200.0);
+  rig.sim.run_until(100.0);
+  EXPECT_GT(sink.packets_received(), 80u);  // untouched before the session
+  EXPECT_EQ(attack.adverts_sent(), 0u);
+}
+
+TEST(BlackholeAttackTest, DsrVariantPoisonsAndDrops) {
+  AttackRig<Dsr> rig(3, 200);
+  CbrSink sink(rig.node(2), 1);
+  BlackholeAttack attack(rig.node(1),
+                         IntrusionSchedule::sessions({{10, 1000}}));
+  attack.start();
+  CbrSource source(rig.node(0), 2, 1, 1.0, 512, 0.5, 200.0);
+  rig.sim.run_until(9.0);
+  const auto before = sink.packets_received();
+  EXPECT_GT(before, 5u);
+  rig.sim.run_until(100.0);
+  EXPECT_LT(sink.packets_received() - before, 10u);
+}
+
+TEST(SelectiveDropTest, DropsOnlyTargetDestination) {
+  // Chain 0-1-2 and 0-1-3 (3 placed near 2): node 1 drops traffic to 2 only.
+  AttackRig<Aodv> rig(4, 200);
+  rig.mobility.move(3, {400, 30});  // also behind node 1
+  CbrSink sink2(rig.node(2), 1);
+  CbrSink sink3(rig.node(3), 2);
+  SelectiveDropAttack attack(rig.node(1), /*target_dst=*/2,
+                             IntrusionSchedule::sessions({{0, 1e9}}));
+  attack.start();
+  CbrSource source2(rig.node(0), 2, 1, 1.0, 512, 0.5, 100.0);
+  CbrSource source3(rig.node(0), 3, 2, 1.0, 512, 0.5, 100.0);
+  rig.sim.run_until(100.0);
+  EXPECT_EQ(sink2.packets_received(), 0u);
+  EXPECT_GT(sink3.packets_received(), 80u);
+  EXPECT_GT(attack.drops_matched(), 0u);
+}
+
+TEST(DropVariantsTest, ConstantDropsEverything) {
+  AttackRig<Aodv> rig(3, 200);
+  CbrSink sink(rig.node(2), 1);
+  DropAttack attack(rig.node(1), DropSpec{DropMode::Constant},
+                    IntrusionSchedule::sessions({{0, 1e9}}));
+  attack.start();
+  CbrSource source(rig.node(0), 2, 1, 2.0, 512, 0.5, 50.0);
+  rig.sim.run_until(60.0);
+  EXPECT_EQ(sink.packets_received(), 0u);
+  EXPECT_GT(attack.drops_matched(), 50u);
+}
+
+TEST(DropVariantsTest, RandomDropsAboutTheRequestedFraction) {
+  AttackRig<Aodv> rig(3, 200);
+  CbrSink sink(rig.node(2), 1);
+  DropSpec spec;
+  spec.mode = DropMode::Random;
+  spec.probability = 0.5;
+  DropAttack attack(rig.node(1), spec, IntrusionSchedule::sessions({{0, 1e9}}));
+  attack.start();
+  CbrSource source(rig.node(0), 2, 1, 4.0, 512, 0.5, 100.0);
+  rig.sim.run_until(110.0);
+  const double delivered_fraction =
+      static_cast<double>(sink.packets_received()) /
+      static_cast<double>(source.packets_sent());
+  EXPECT_GT(delivered_fraction, 0.3);
+  EXPECT_LT(delivered_fraction, 0.7);
+}
+
+TEST(DropVariantsTest, SelectiveModeMatchesDedicatedScript) {
+  AttackRig<Aodv> rig(3, 200);
+  CbrSink sink(rig.node(2), 1);
+  DropSpec spec;
+  spec.mode = DropMode::Selective;
+  spec.target_dst = 9;  // not the flow's destination
+  DropAttack attack(rig.node(1), spec, IntrusionSchedule::sessions({{0, 1e9}}));
+  attack.start();
+  CbrSource source(rig.node(0), 2, 1, 2.0, 512, 0.5, 50.0);
+  rig.sim.run_until(60.0);
+  EXPECT_EQ(sink.packets_received(), source.packets_sent());
+  EXPECT_EQ(attack.drops_matched(), 0u);
+}
+
+TEST(DropVariantsTest, ControlPacketsSurviveWhenDataOnly) {
+  AttackRig<Aodv> rig(3, 200);
+  DropAttack attack(rig.node(1), DropSpec{DropMode::Constant},
+                    IntrusionSchedule::sessions({{0, 1e9}}));
+  attack.start();
+  // Discovery control traffic still relays through the dropper, so the
+  // source can complete discovery even though data dies at node 1.
+  rig.node(0).send_data(2, 1, 0, 512, false);
+  rig.sim.run_until(10.0);
+  const auto* aodv =
+      static_cast<const Aodv*>(&rig.node(0).routing());
+  EXPECT_NE(aodv->table().lookup(2, rig.sim.now()), nullptr);
+}
+
+TEST(UpdateStormTest, FloodsDiscoveryTraffic) {
+  AttackRig<Aodv> rig(4, 200);
+  UpdateStormConfig config;
+  config.discoveries_per_second = 5.0;
+  UpdateStormAttack attack(rig.node(1),
+                           IntrusionSchedule::sessions({{10, 40}}), config);
+  attack.start();
+  rig.sim.run_until(9.0);
+  const auto rreq_before =
+      rig.node(3)
+          .audit()
+          .packet_times(AuditPacketType::RouteRequest,
+                        FlowDirection::Received)
+          .size();
+  rig.sim.run_until(50.0);
+  const auto rreq_during =
+      rig.node(3)
+          .audit()
+          .packet_times(AuditPacketType::RouteRequest,
+                        FlowDirection::Received)
+          .size() -
+      rreq_before;
+  // The storm floods the whole network with meaningless RREQs.
+  EXPECT_GT(attack.discoveries_triggered(), 100u);
+  EXPECT_GT(rreq_during, 100u);
+}
+
+TEST(UpdateStormTest, QuietOutsideSessions) {
+  AttackRig<Aodv> rig(3, 200);
+  UpdateStormAttack attack(rig.node(1),
+                           IntrusionSchedule::sessions({{1000, 10}}));
+  attack.start();
+  rig.sim.run_until(100.0);
+  EXPECT_EQ(attack.discoveries_triggered(), 0u);
+}
+
+TEST(ImpersonationTest, VictimIsFramedAsSource) {
+  AttackRig<Aodv> rig(4, 200);
+  // Node 1 impersonates node 0, sending to node 3.
+  struct CapturingSink final : TransportSink {
+    void deliver(const Packet& pkt) override { sources.push_back(pkt.src); }
+    std::vector<NodeId> sources;
+  } sink;
+  rig.node(3).register_sink(0, &sink);
+  ImpersonationAttack attack(rig.node(1), /*victim=*/0, /*target=*/3,
+                             IntrusionSchedule::sessions({{1, 30}}));
+  attack.start();
+  rig.sim.run_until(40.0);
+  EXPECT_GT(attack.packets_forged(), 10u);
+  ASSERT_FALSE(sink.sources.empty());
+  for (const NodeId src : sink.sources) EXPECT_EQ(src, 0);
+  // The true origin (node 1) shows no data/sent audit records: the forgery
+  // is invisible at the network layer, as the paper argues.
+  EXPECT_TRUE(rig.node(1)
+                  .audit()
+                  .packet_times(AuditPacketType::Data, FlowDirection::Sent)
+                  .empty());
+}
+
+TEST(SelectiveDropTest, RespectsSchedule) {
+  AttackRig<Aodv> rig(3, 200);
+  CbrSink sink(rig.node(2), 1);
+  SelectiveDropAttack attack(rig.node(1), 2,
+                             IntrusionSchedule::periodic(20, 20, 100));
+  attack.start();
+  CbrSource source(rig.node(0), 2, 1, 2.0, 512, 0.5, 200.0);
+  rig.sim.run_until(19.0);
+  const auto before = sink.packets_received();
+  EXPECT_GT(before, 30u);
+  rig.sim.run_until(39.0);  // inside the on phase
+  EXPECT_LT(sink.packets_received() - before, 5u);
+  rig.sim.run_until(59.0);  // off phase: flows again
+  EXPECT_GT(sink.packets_received() - before, 20u);
+}
+
+}  // namespace
+}  // namespace xfa

@@ -1,0 +1,116 @@
+// Unit tests: the audit log (the per-node trace source).
+#include <gtest/gtest.h>
+
+#include "audit/audit.h"
+
+namespace xfa {
+namespace {
+
+TEST(AuditLog, RecordsPacketStreamSeparately) {
+  AuditLog log;
+  log.record_packet(1.0, AuditPacketType::Data, FlowDirection::Sent);
+  log.record_packet(2.0, AuditPacketType::Data, FlowDirection::Sent);
+  log.record_packet(3.0, AuditPacketType::Data, FlowDirection::Received);
+  EXPECT_EQ(
+      log.packet_times(AuditPacketType::Data, FlowDirection::Sent).size(),
+      2u);
+  EXPECT_EQ(
+      log.packet_times(AuditPacketType::Data, FlowDirection::Received).size(),
+      1u);
+  EXPECT_EQ(log.total_packet_records(), 3u);
+}
+
+TEST(AuditLog, ControlPacketsAggregateIntoRouteAll) {
+  AuditLog log;
+  log.record_packet(1.0, AuditPacketType::RouteRequest,
+                    FlowDirection::Received);
+  log.record_packet(2.0, AuditPacketType::RouteReply, FlowDirection::Received);
+  log.record_packet(3.0, AuditPacketType::Hello, FlowDirection::Received);
+  const auto& route_all =
+      log.packet_times(AuditPacketType::RouteAll, FlowDirection::Received);
+  EXPECT_EQ(route_all.size(), 3u);
+  EXPECT_DOUBLE_EQ(route_all[0], 1.0);
+  EXPECT_DOUBLE_EQ(route_all[2], 3.0);
+  // Each physical observation counts once.
+  EXPECT_EQ(log.total_packet_records(), 3u);
+}
+
+TEST(AuditLog, DataDoesNotAggregateIntoRouteAll) {
+  AuditLog log;
+  log.record_packet(1.0, AuditPacketType::Data, FlowDirection::Sent);
+  EXPECT_TRUE(
+      log.packet_times(AuditPacketType::RouteAll, FlowDirection::Sent)
+          .empty());
+}
+
+TEST(AuditLog, RouteAllCanBeLoggedDirectly) {
+  AuditLog log;
+  // Encapsulated data forwarded at an intermediate hop.
+  log.record_packet(5.0, AuditPacketType::RouteAll, FlowDirection::Forwarded);
+  EXPECT_EQ(
+      log.packet_times(AuditPacketType::RouteAll, FlowDirection::Forwarded)
+          .size(),
+      1u);
+  EXPECT_EQ(log.total_packet_records(), 1u);
+}
+
+TEST(AuditLog, RouteEventsByKind) {
+  AuditLog log;
+  log.record_route_event(1.0, RouteEventKind::Add);
+  log.record_route_event(2.0, RouteEventKind::Add);
+  log.record_route_event(3.0, RouteEventKind::Remove);
+  log.record_route_event(4.0, RouteEventKind::Notice);
+  EXPECT_EQ(log.route_event_times(RouteEventKind::Add).size(), 2u);
+  EXPECT_EQ(log.route_event_times(RouteEventKind::Remove).size(), 1u);
+  EXPECT_EQ(log.route_event_times(RouteEventKind::Notice).size(), 1u);
+  EXPECT_TRUE(log.route_event_times(RouteEventKind::Repair).empty());
+  EXPECT_EQ(log.total_route_events(), 4u);
+}
+
+TEST(AuditLog, ClearResetsEverything) {
+  AuditLog log;
+  log.record_packet(1.0, AuditPacketType::Data, FlowDirection::Sent);
+  log.record_route_event(1.0, RouteEventKind::Find);
+  log.clear();
+  EXPECT_EQ(log.total_packet_records(), 0u);
+  EXPECT_EQ(log.total_route_events(), 0u);
+  EXPECT_TRUE(
+      log.packet_times(AuditPacketType::Data, FlowDirection::Sent).empty());
+}
+
+TEST(AuditLog, EnumNames) {
+  EXPECT_STREQ(to_string(AuditPacketType::RouteRequest), "rreq");
+  EXPECT_STREQ(to_string(FlowDirection::Dropped), "drop");
+  EXPECT_STREQ(to_string(RouteEventKind::Notice), "notice");
+}
+
+// Property: timestamps within every stream remain sorted regardless of the
+// interleaving of types/directions.
+class AuditOrderTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AuditOrderTest, StreamsStaySorted) {
+  AuditLog log;
+  const int streams = GetParam();
+  double t = 0;
+  for (int i = 0; i < 200; ++i) {
+    t += 0.5;
+    const auto type = static_cast<AuditPacketType>(i % streams);
+    const auto dir = static_cast<FlowDirection>((i / streams) % 4);
+    if (type == AuditPacketType::Data &&
+        (dir == FlowDirection::Forwarded || dir == FlowDirection::Dropped))
+      continue;
+    log.record_packet(t, type, dir);
+  }
+  for (std::size_t s = 0; s < kAuditPacketTypeCount; ++s) {
+    for (std::size_t d = 0; d < kFlowDirectionCount; ++d) {
+      const auto& times = log.packet_times(static_cast<AuditPacketType>(s),
+                                           static_cast<FlowDirection>(d));
+      EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AuditOrderTest, ::testing::Values(2, 3, 6));
+
+}  // namespace
+}  // namespace xfa

@@ -1,0 +1,190 @@
+// Unit tests: recall-precision curves, AUC, density histograms, time series.
+#include <gtest/gtest.h>
+
+#include "eval/density.h"
+#include "eval/pr.h"
+#include "eval/series.h"
+#include "sim/rng.h"
+
+namespace xfa {
+namespace {
+
+TEST(PrCurve, PerfectSeparation) {
+  // Intrusions score low, normals high: the curve must reach (1, 1).
+  std::vector<double> scores = {0.1, 0.2, 0.3, 0.8, 0.9, 1.0};
+  std::vector<int> labels = {1, 1, 1, 0, 0, 0};
+  const PrCurve curve = recall_precision_curve(scores, labels);
+  const PrPoint best = curve.optimal_point();
+  EXPECT_DOUBLE_EQ(best.recall, 1.0);
+  EXPECT_DOUBLE_EQ(best.precision, 1.0);
+  EXPECT_GT(curve.area_above_diagonal(), 0.45);
+}
+
+TEST(PrCurve, RandomScoresGiveNearDiagonalAuc) {
+  Rng rng(3);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 4000; ++i) {
+    scores.push_back(rng.uniform());
+    labels.push_back(rng.chance(0.5) ? 1 : 0);
+  }
+  const PrCurve curve = recall_precision_curve(scores, labels);
+  EXPECT_NEAR(curve.area_above_diagonal(), 0.0, 0.05);
+}
+
+TEST(PrCurve, InvertedScoresGiveNegativeArea) {
+  // Intrusions scoring HIGH (worse than random for our convention).
+  std::vector<double> scores = {0.9, 0.95, 1.0, 0.1, 0.2, 0.3};
+  std::vector<int> labels = {1, 1, 1, 0, 0, 0};
+  const PrCurve curve = recall_precision_curve(scores, labels);
+  EXPECT_LT(curve.area_above_diagonal(), 0.0);
+}
+
+TEST(PrCurve, RecallMonotone) {
+  Rng rng(5);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 500; ++i) {
+    const int label = rng.chance(0.3) ? 1 : 0;
+    scores.push_back(label ? rng.uniform(0, 0.7) : rng.uniform(0.3, 1.0));
+    labels.push_back(label);
+  }
+  const PrCurve curve = recall_precision_curve(scores, labels);
+  for (std::size_t i = 1; i < curve.points.size(); ++i)
+    EXPECT_GE(curve.points[i].recall, curve.points[i - 1].recall);
+}
+
+TEST(PrCurve, CountsAreConsistent) {
+  std::vector<double> scores = {0.1, 0.4, 0.4, 0.6, 0.8};
+  std::vector<int> labels = {1, 1, 0, 0, 1};
+  const PrCurve curve = recall_precision_curve(scores, labels);
+  for (const PrPoint& point : curve.points) {
+    EXPECT_EQ(point.true_positives + point.false_negatives, 3u);
+    if (point.true_positives + point.false_positives > 0) {
+      EXPECT_NEAR(point.precision,
+                  static_cast<double>(point.true_positives) /
+                      static_cast<double>(point.true_positives +
+                                          point.false_positives),
+                  1e-12);
+    }
+  }
+}
+
+TEST(PrCurve, EmptyAndDegenerateInputs) {
+  EXPECT_TRUE(recall_precision_curve({}, {}).points.empty());
+  // No intrusions at all: no curve.
+  EXPECT_TRUE(
+      recall_precision_curve({0.5, 0.6}, {0, 0}).points.empty());
+}
+
+TEST(PrCurve, TieGroupsMoveTogether) {
+  // All events share one score: only two operating points (none / all).
+  std::vector<double> scores(10, 0.5);
+  std::vector<int> labels = {1, 0, 1, 0, 1, 0, 1, 0, 1, 0};
+  const PrCurve curve = recall_precision_curve(scores, labels);
+  ASSERT_EQ(curve.points.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve.points[1].recall, 1.0);
+  EXPECT_DOUBLE_EQ(curve.points[1].precision, 0.5);
+}
+
+TEST(PrCurve, ThresholdSemanticsMatchDetectorRule) {
+  // The curve's operating points must correspond to "alarm iff score <
+  // threshold": picking any point's threshold and re-deriving recall by hand
+  // must reproduce the point.
+  Rng rng(9);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 300; ++i) {
+    const int label = rng.chance(0.4) ? 1 : 0;
+    scores.push_back(label ? rng.uniform(0, 0.6) : rng.uniform(0.4, 1.0));
+    labels.push_back(label);
+  }
+  const PrCurve curve = recall_precision_curve(scores, labels);
+  for (std::size_t i = 0; i < curve.points.size(); i += 7) {
+    const PrPoint& point = curve.points[i];
+    std::size_t tp = 0, total_pos = 0;
+    for (std::size_t j = 0; j < scores.size(); ++j) {
+      if (labels[j] != 0) {
+        ++total_pos;
+        if (scores[j] < point.threshold) ++tp;
+      }
+    }
+    EXPECT_NEAR(point.recall,
+                static_cast<double>(tp) / static_cast<double>(total_pos),
+                1e-12);
+  }
+}
+
+TEST(Density, IntegratesToOne) {
+  Rng rng(7);
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(rng.uniform());
+  const DensityHistogram hist = density_histogram(values, 20);
+  double mass = 0;
+  const double width = 1.0 / 20;
+  for (const double d : hist.density) mass += d * width;
+  EXPECT_NEAR(mass, 1.0, 1e-9);
+}
+
+TEST(Density, MassBelowThreshold) {
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) values.push_back(i < 30 ? 0.1 : 0.9);
+  const DensityHistogram hist = density_histogram(values, 10);
+  EXPECT_NEAR(mass_below(hist, 0.5), 0.3, 0.02);
+  EXPECT_NEAR(mass_below(hist, 1.0), 1.0, 1e-9);
+  EXPECT_NEAR(mass_below(hist, 0.0), 0.0, 1e-9);
+}
+
+TEST(Density, OutOfRangeClampsToEdgeBins) {
+  const std::vector<double> values = {-5.0, 5.0};
+  const DensityHistogram hist = density_histogram(values, 4, 0.0, 1.0);
+  EXPECT_GT(hist.density.front(), 0.0);
+  EXPECT_GT(hist.density.back(), 0.0);
+}
+
+TEST(Density, AsciiRenderHasOneLinePerBin) {
+  const std::vector<double> values = {0.1, 0.2, 0.9};
+  const DensityHistogram hist = density_histogram(values, 5);
+  EXPECT_EQ(render_ascii(hist).size(), 5u);
+}
+
+TEST(Series, AverageOfEqualLengthSeries) {
+  TimeSeries a{{1, 2, 3}, {1.0, 2.0, 3.0}};
+  TimeSeries b{{1, 2, 3}, {3.0, 4.0, 5.0}};
+  const TimeSeries avg = average_series({a, b});
+  ASSERT_EQ(avg.size(), 3u);
+  EXPECT_DOUBLE_EQ(avg.values[0], 2.0);
+  EXPECT_DOUBLE_EQ(avg.values[2], 4.0);
+}
+
+TEST(Series, AverageHandlesLengthMismatch) {
+  TimeSeries a{{1, 2, 3}, {1.0, 2.0, 3.0}};
+  TimeSeries b{{1, 2}, {3.0, 4.0}};
+  const TimeSeries avg = average_series({a, b});
+  ASSERT_EQ(avg.size(), 3u);
+  EXPECT_DOUBLE_EQ(avg.values[0], 2.0);
+  EXPECT_DOUBLE_EQ(avg.values[2], 3.0);  // only series a contributes
+}
+
+TEST(Series, DownsampleAverages) {
+  TimeSeries s;
+  for (int i = 1; i <= 10; ++i) {
+    s.times.push_back(i);
+    s.values.push_back(i);
+  }
+  const TimeSeries down = downsample(s, 5.0);
+  ASSERT_EQ(down.size(), 2u);
+  EXPECT_DOUBLE_EQ(down.values[0], 3.0);  // mean of 1..5
+  EXPECT_DOUBLE_EQ(down.values[1], 8.0);  // mean of 6..10
+}
+
+TEST(Series, DownsampleWithGaps) {
+  TimeSeries s{{1, 2, 21, 22}, {1, 3, 10, 20}};
+  const TimeSeries down = downsample(s, 10.0);
+  ASSERT_EQ(down.size(), 2u);
+  EXPECT_DOUBLE_EQ(down.values[0], 2.0);
+  EXPECT_DOUBLE_EQ(down.values[1], 15.0);
+}
+
+}  // namespace
+}  // namespace xfa

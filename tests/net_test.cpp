@@ -1,0 +1,284 @@
+// Unit tests: packet model, wireless channel, node plumbing.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "mobility/waypoint.h"
+#include "net/channel.h"
+#include "net/node.h"
+#include "sim/simulator.h"
+
+namespace xfa {
+namespace {
+
+/// A routing stub that records everything the node hands it.
+class RecordingProtocol final : public RoutingProtocol {
+ public:
+  void send_data(Packet&& pkt) override { sent.push_back(pkt); }
+  void receive(Packet pkt, NodeId from) override {
+    received.emplace_back(pkt, from);
+  }
+  void tap(const Packet& pkt, NodeId from, NodeId to) override {
+    taps.push_back({pkt, from, to});
+  }
+  void link_failure(const Packet& pkt, NodeId to) override {
+    failures.emplace_back(pkt, to);
+  }
+  double average_route_length() const override { return 0; }
+  std::size_t route_count() const override { return 0; }
+  const char* name() const override { return "stub"; }
+
+  std::vector<Packet> sent;
+  std::vector<std::pair<Packet, NodeId>> received;
+  struct Tap {
+    Packet pkt;
+    NodeId from, to;
+  };
+  std::vector<Tap> taps;
+  std::vector<std::pair<Packet, NodeId>> failures;
+};
+
+ChannelConfig no_jitter() {
+  ChannelConfig config;
+  config.max_jitter_s = 0;
+  return config;
+}
+
+/// Test rig: N nodes with recording protocols on a field small enough that
+/// everyone is in radio range (or huge, so that nobody is).
+struct Rig {
+  Rig(std::size_t n, double field, ChannelConfig config = no_jitter(),
+      std::uint64_t seed = 1)
+      : sim(seed),
+        mobility(n, make_mobility(field), Rng(seed)),
+        channel(sim, mobility, config) {
+    for (std::size_t i = 0; i < n; ++i) {
+      nodes.push_back(
+          std::make_unique<Node>(sim, channel, static_cast<NodeId>(i)));
+      channel.register_node(*nodes.back());
+      auto protocol = std::make_unique<RecordingProtocol>();
+      protocols.push_back(protocol.get());
+      nodes.back()->set_routing(std::move(protocol));
+    }
+  }
+  static MobilityConfig make_mobility(double field) {
+    MobilityConfig config;
+    config.field_width = field;
+    config.field_height = field;
+    return config;
+  }
+
+  Simulator sim;
+  RandomWaypointMobility mobility;
+  Channel channel;
+  std::vector<std::unique_ptr<Node>> nodes;
+  std::vector<RecordingProtocol*> protocols;
+};
+
+TEST(PacketTest, DescribeIsHumanReadable) {
+  Packet pkt;
+  pkt.kind = PacketKind::RouteRequest;
+  pkt.src = 3;
+  pkt.dst = kBroadcast;
+  pkt.uid = 9;
+  pkt.ttl = 12;
+  EXPECT_EQ(pkt.describe(), "RREQ 3->* uid=9 ttl=12");
+}
+
+TEST(PacketTest, KindNames) {
+  EXPECT_STREQ(to_string(PacketKind::Data), "DATA");
+  EXPECT_STREQ(to_string(PacketKind::Hello), "HELLO");
+}
+
+TEST(ChannelTest, BroadcastReachesAllNodesInSmallField) {
+  Rig rig(4, 10.0);
+  Packet pkt;
+  pkt.kind = PacketKind::Hello;
+  pkt.src = 0;
+  pkt.dst = kBroadcast;
+  rig.channel.transmit(0, pkt, kBroadcast);
+  rig.sim.run();
+
+  EXPECT_TRUE(rig.protocols[0]->received.empty());  // no self-delivery
+  for (std::size_t i = 1; i < 4; ++i) {
+    ASSERT_EQ(rig.protocols[i]->received.size(), 1u);
+    EXPECT_EQ(rig.protocols[i]->received[0].second, 0);
+  }
+  EXPECT_EQ(rig.channel.stats().deliveries, 3u);
+}
+
+TEST(ChannelTest, OutOfRangeNodesGetNothing) {
+  Rig rig(2, 100000.0, no_jitter(), /*seed=*/3);
+  ASSERT_FALSE(rig.channel.in_range(0, 1));  // sanity for this seed
+  Packet pkt;
+  pkt.src = 0;
+  pkt.dst = kBroadcast;
+  rig.channel.transmit(0, pkt, kBroadcast);
+  rig.sim.run();
+  EXPECT_TRUE(rig.protocols[1]->received.empty());
+}
+
+TEST(ChannelTest, NeighborsMatchesInRange) {
+  Rig rig(5, 10.0);
+  const auto neighbors = rig.channel.neighbors(0);
+  EXPECT_EQ(neighbors.size(), 4u);
+}
+
+TEST(ChannelTest, UnicastTapsOtherNodes) {
+  Rig rig(3, 10.0);
+  Packet pkt;
+  pkt.kind = PacketKind::Data;
+  pkt.src = 0;
+  pkt.dst = 1;
+  rig.channel.transmit(0, pkt, 1);
+  rig.sim.run();
+  EXPECT_EQ(rig.protocols[1]->received.size(), 1u);
+  ASSERT_EQ(rig.protocols[2]->taps.size(), 1u);
+  EXPECT_EQ(rig.protocols[2]->taps[0].to, 1);
+}
+
+TEST(ChannelTest, FailedUnicastTriggersLinkFailure) {
+  Rig rig(2, 10.0);
+  Packet pkt;
+  pkt.kind = PacketKind::Data;
+  pkt.src = 0;
+  pkt.dst = 2;
+  rig.channel.transmit(0, pkt, 99);  // no such node in range
+  rig.sim.run();
+  ASSERT_EQ(rig.protocols[0]->failures.size(), 1u);
+  EXPECT_EQ(rig.protocols[0]->failures[0].second, 99);
+  EXPECT_EQ(rig.channel.stats().unicast_failures, 1u);
+}
+
+TEST(ChannelTest, TapsCanBeDisabled) {
+  ChannelConfig config = no_jitter();
+  config.promiscuous_taps = false;
+  Rig rig(3, 10.0, config);
+  Packet pkt;
+  pkt.src = 0;
+  pkt.dst = 1;
+  rig.channel.transmit(0, pkt, 1);
+  rig.sim.run();
+  EXPECT_TRUE(rig.protocols[2]->taps.empty());
+  EXPECT_EQ(rig.channel.stats().taps, 0u);
+}
+
+TEST(ChannelTest, LossRateDropsSomeDeliveries) {
+  ChannelConfig config = no_jitter();
+  config.loss_rate = 0.5;
+  Rig rig(2, 10.0, config);
+  for (int i = 0; i < 200; ++i) {
+    Packet pkt;
+    pkt.src = 0;
+    pkt.dst = kBroadcast;
+    rig.channel.transmit(0, pkt, kBroadcast);
+  }
+  rig.sim.run();
+  const auto received = rig.protocols[1]->received.size();
+  EXPECT_GT(received, 50u);
+  EXPECT_LT(received, 150u);
+  EXPECT_EQ(rig.channel.stats().random_losses, 200 - received);
+}
+
+TEST(ChannelTest, TransmissionDelayScalesWithSize) {
+  Rig rig(2, 10.0);
+  Packet small, large;
+  small.src = large.src = 0;
+  small.dst = large.dst = kBroadcast;
+  small.size_bytes = 64;
+  large.size_bytes = 6400;
+  SimTime small_at = -1, large_at = -1;
+  rig.channel.transmit(0, large, kBroadcast);
+  rig.sim.run();
+  large_at = rig.sim.now();
+  Rig rig2(2, 10.0);
+  rig2.channel.transmit(0, small, kBroadcast);
+  rig2.sim.run();
+  small_at = rig2.sim.now();
+  EXPECT_GT(large_at, small_at);
+  // 2 Mb/s: 64 B = 256 us.
+  EXPECT_NEAR(small_at, 64 * 8 / 2e6, 1e-9);
+}
+
+TEST(ChannelTest, UidAssignedOnTransmit) {
+  Rig rig(2, 10.0);
+  Packet a, b;
+  a.src = b.src = 0;
+  a.dst = b.dst = kBroadcast;
+  rig.channel.transmit(0, a, kBroadcast);
+  rig.channel.transmit(0, b, kBroadcast);
+  rig.sim.run();
+  ASSERT_EQ(rig.protocols[1]->received.size(), 2u);
+  EXPECT_NE(rig.protocols[1]->received[0].first.uid,
+            rig.protocols[1]->received[1].first.uid);
+  EXPECT_NE(rig.protocols[1]->received[0].first.uid, 0u);
+}
+
+TEST(NodeTest, SendDataLogsAuditAndRoutesToProtocol) {
+  Rig rig(1, 10.0);
+  Node& node = *rig.nodes[0];
+  node.enable_audit(true);
+  node.send_data(5, 1, 0, 512, false);
+  ASSERT_EQ(rig.protocols[0]->sent.size(), 1u);
+  EXPECT_EQ(rig.protocols[0]->sent[0].dst, 5);
+  EXPECT_EQ(node.audit()
+                .packet_times(AuditPacketType::Data, FlowDirection::Sent)
+                .size(),
+            1u);
+  EXPECT_EQ(node.data_originated(), 1u);
+}
+
+TEST(NodeTest, DeliverToTransportInvokesSink) {
+  Rig rig(1, 10.0);
+  Node& node = *rig.nodes[0];
+  node.enable_audit(true);
+
+  struct CountingSink final : TransportSink {
+    void deliver(const Packet&) override { ++count; }
+    int count = 0;
+  } sink;
+  node.register_sink(7, &sink);
+
+  Packet pkt;
+  pkt.kind = PacketKind::Data;
+  pkt.flow_id = 7;
+  pkt.dst = 0;
+  node.deliver_to_transport(pkt);
+  EXPECT_EQ(sink.count, 1);
+  EXPECT_EQ(node.data_delivered(), 1u);
+  EXPECT_EQ(node.audit()
+                .packet_times(AuditPacketType::Data, FlowDirection::Received)
+                .size(),
+            1u);
+}
+
+TEST(NodeTest, ForwardFiltersCompose) {
+  Rig rig(1, 10.0);
+  Node& node = *rig.nodes[0];
+  node.add_forward_filter([](const Packet& pkt) { return pkt.dst == 3; });
+  node.add_forward_filter([](const Packet& pkt) { return pkt.flow_id == 9; });
+
+  Packet to3;
+  to3.dst = 3;
+  Packet flow9;
+  flow9.dst = 5;
+  flow9.flow_id = 9;
+  Packet clean;
+  clean.dst = 5;
+  EXPECT_TRUE(node.should_maliciously_drop(to3));
+  EXPECT_TRUE(node.should_maliciously_drop(flow9));
+  EXPECT_FALSE(node.should_maliciously_drop(clean));
+}
+
+TEST(NodeTest, AuditDisabledByDefault) {
+  Rig rig(1, 10.0);
+  Node& node = *rig.nodes[0];
+  node.log_packet(AuditPacketType::Data, FlowDirection::Sent);
+  node.log_route_event(RouteEventKind::Add);
+  EXPECT_EQ(node.audit().total_packet_records(), 0u);
+  EXPECT_EQ(node.audit().total_route_events(), 0u);
+}
+
+}  // namespace
+}  // namespace xfa

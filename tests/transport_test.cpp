@@ -1,0 +1,183 @@
+// Unit tests: traffic generator, CBR, simplified TCP.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "mobility/static.h"
+#include "net/channel.h"
+#include "net/node.h"
+#include "routing/aodv/aodv.h"
+#include "sim/simulator.h"
+#include "transport/cbr.h"
+#include "transport/tcp.h"
+#include "transport/traffic.h"
+
+namespace xfa {
+namespace {
+
+TEST(TrafficGen, RespectsMaxConnections) {
+  Rng rng(1);
+  TrafficConfig config;
+  config.max_connections = 10;
+  const auto flows = generate_connection_pattern(50, config, rng);
+  EXPECT_EQ(flows.size(), 10u);
+}
+
+TEST(TrafficGen, CapsAtPairSpace) {
+  Rng rng(1);
+  TrafficConfig config;
+  config.max_connections = 100;
+  const auto flows = generate_connection_pattern(3, config, rng);
+  EXPECT_EQ(flows.size(), 6u);  // 3*2 ordered pairs
+}
+
+TEST(TrafficGen, NoSelfFlowsAndUniquePairs) {
+  Rng rng(5);
+  TrafficConfig config;
+  config.max_connections = 100;
+  const auto flows = generate_connection_pattern(20, config, rng);
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const Flow& flow : flows) {
+    EXPECT_NE(flow.src, flow.dst);
+    EXPECT_GE(flow.src, 0);
+    EXPECT_LT(flow.src, 20);
+    EXPECT_TRUE(seen.emplace(flow.src, flow.dst).second);
+    EXPECT_GE(flow.start, 0.0);
+    EXPECT_LE(flow.start, config.start_window);
+  }
+}
+
+TEST(TrafficGen, DeterministicGivenSeed) {
+  TrafficConfig config;
+  config.max_connections = 20;
+  Rng a(9), b(9);
+  const auto fa = generate_connection_pattern(30, config, a);
+  const auto fb = generate_connection_pattern(30, config, b);
+  ASSERT_EQ(fa.size(), fb.size());
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    EXPECT_EQ(fa[i].src, fb[i].src);
+    EXPECT_EQ(fa[i].dst, fb[i].dst);
+    EXPECT_DOUBLE_EQ(fa[i].start, fb[i].start);
+  }
+}
+
+TEST(TrafficGen, FlowIdsAreUnique) {
+  Rng rng(2);
+  TrafficConfig config;
+  config.max_connections = 40;
+  const auto flows = generate_connection_pattern(30, config, rng);
+  std::set<std::uint32_t> ids;
+  for (const Flow& flow : flows) EXPECT_TRUE(ids.insert(flow.flow_id).second);
+}
+
+// --- Rig with AODV routing over a short chain. ---------------------------
+
+struct TransportRig {
+  explicit TransportRig(std::size_t n, double spacing = 200)
+      : sim(21), mobility(StaticPositions::line(n, spacing)) {
+    ChannelConfig config;
+    config.max_jitter_s = 0.0005;
+    config.promiscuous_taps = false;
+    channel = std::make_unique<Channel>(sim, mobility, config);
+    for (NodeId i = 0; i < static_cast<NodeId>(n); ++i) {
+      nodes.push_back(std::make_unique<Node>(sim, *channel, i));
+      channel->register_node(*nodes.back());
+      nodes.back()->set_routing(std::make_unique<Aodv>(*nodes.back()));
+      nodes.back()->routing().start();
+    }
+  }
+  Node& node(NodeId id) { return *nodes[static_cast<std::size_t>(id)]; }
+
+  Simulator sim;
+  StaticPositions mobility;
+  std::unique_ptr<Channel> channel;
+  std::vector<std::unique_ptr<Node>> nodes;
+};
+
+TEST(CbrTest, SendsAtConfiguredRate) {
+  TransportRig rig(2, 100);
+  CbrSink sink(rig.node(1), 1);
+  CbrSource source(rig.node(0), 1, 1, /*rate_pps=*/2.0, 512, /*start=*/0.0,
+                   /*stop=*/50.0);
+  rig.sim.run_until(60.0);
+  // ~2 pps for 50 s = ~100 packets (±jitter).
+  EXPECT_GE(source.packets_sent(), 95u);
+  EXPECT_LE(source.packets_sent(), 105u);
+  EXPECT_EQ(sink.packets_received(), source.packets_sent());
+}
+
+TEST(CbrTest, StopsAtStopTime) {
+  TransportRig rig(2, 100);
+  CbrSink sink(rig.node(1), 1);
+  CbrSource source(rig.node(0), 1, 1, 1.0, 512, 0.0, 10.0);
+  rig.sim.run_until(100.0);
+  EXPECT_LE(source.packets_sent(), 11u);
+}
+
+TEST(TcpTest, TransfersInOrderOverChain) {
+  TransportRig rig(3, 200);
+  TcpConfig config;
+  config.app_rate_pps = 5.0;
+  TcpSink sink(rig.node(2), 1, /*peer=*/0, config);
+  TcpSource source(rig.node(0), 2, 1, /*start=*/1.0, config);
+  rig.sim.run_until(61.0);
+  // ~5 segments/s for 60 s: expect substantial progress, all in order.
+  EXPECT_GT(sink.next_expected(), 200u);
+  EXPECT_EQ(source.snd_una(), sink.next_expected());
+}
+
+TEST(TcpTest, RecoversFromLinkOutage) {
+  TransportRig rig(3, 200);
+  TcpConfig config;
+  config.app_rate_pps = 5.0;
+  TcpSink sink(rig.node(2), 1, 0, config);
+  TcpSource source(rig.node(0), 2, 1, 1.0, config);
+  rig.sim.run_until(20.0);
+  const auto before = sink.next_expected();
+  EXPECT_GT(before, 0u);
+
+  // Outage: receiver vanishes for a while, then returns.
+  rig.mobility.move(2, {10000, 10000});
+  rig.sim.run_until(60.0);
+  rig.mobility.move(2, {400, 0});
+  rig.sim.run_until(180.0);
+  EXPECT_GT(sink.next_expected(), before)
+      << "TCP must resume after the route heals";
+  EXPECT_EQ(source.snd_una(), sink.next_expected());
+}
+
+TEST(TcpTest, LossyChannelStillMakesProgress) {
+  Simulator sim(3);
+  StaticPositions mobility = StaticPositions::line(2, 100);
+  ChannelConfig channel_config;
+  channel_config.loss_rate = 0.2;
+  channel_config.max_jitter_s = 0.0005;
+  Channel channel(sim, mobility, channel_config);
+  std::vector<std::unique_ptr<Node>> nodes;
+  for (NodeId i = 0; i < 2; ++i) {
+    nodes.push_back(std::make_unique<Node>(sim, channel, i));
+    channel.register_node(*nodes.back());
+    nodes.back()->set_routing(std::make_unique<Aodv>(*nodes.back()));
+    nodes.back()->routing().start();
+  }
+  TcpConfig config;
+  config.app_rate_pps = 2.0;
+  TcpSink sink(*nodes[1], 1, 0, config);
+  TcpSource source(*nodes[0], 1, 1, 1.0, config);
+  sim.run_until(120.0);
+  EXPECT_GT(sink.next_expected(), 50u);
+}
+
+TEST(TcpTest, CwndGrowsFromSlowStart) {
+  TransportRig rig(2, 100);
+  TcpConfig config;
+  config.app_rate_pps = 50.0;  // enough app data to fill the window
+  TcpSink sink(rig.node(1), 1, 0, config);
+  TcpSource source(rig.node(0), 1, 1, 0.5, config);
+  rig.sim.run_until(30.0);
+  EXPECT_GT(source.cwnd(), config.initial_cwnd);
+}
+
+}  // namespace
+}  // namespace xfa
