@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Full correctness gate: build + test the tree twice —
+#   1. plain Release with XFA_WERROR=ON (warnings are errors), and
+#   2. ASan+UBSan with recovery disabled (any report aborts the test) —
+# running the xfa_lint repo rules in both. CI runs exactly this script.
+#
+# Usage: scripts/check.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+run_pass() {
+  local name="$1" build_dir="$2"
+  shift 2
+  echo "=== ${name}: configure ==="
+  cmake -B "${build_dir}" -S . -DXFA_WERROR=ON "$@"
+  echo "=== ${name}: build ==="
+  cmake --build "${build_dir}" -j "${JOBS}"
+  echo "=== ${name}: lint ==="
+  ctest --test-dir "${build_dir}" -R xfa_lint --output-on-failure
+  echo "=== ${name}: ctest ==="
+  ctest --test-dir "${build_dir}" -j "${JOBS}" --output-on-failure
+}
+
+run_pass "release" build-check-release -DCMAKE_BUILD_TYPE=Release
+
+run_pass "asan+ubsan" build-check-sanitize \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DXFA_SANITIZE="address;undefined"
+
+echo "All checks passed."

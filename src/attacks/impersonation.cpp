@@ -1,6 +1,6 @@
 #include "attacks/impersonation.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace xfa {
 
@@ -13,8 +13,8 @@ ImpersonationAttack::ImpersonationAttack(Node& node, NodeId victim,
       target_(target),
       schedule_(std::move(schedule)),
       config_(config) {
-  assert(victim != node.id() && "impersonating yourself is just sending");
-  assert(config.packets_per_second > 0);
+  XFA_CHECK(victim != node.id()) << "impersonating yourself is just sending";
+  XFA_CHECK_GT(config.packets_per_second, 0);
 }
 
 void ImpersonationAttack::start() {

@@ -1,14 +1,15 @@
 #include "attacks/onoff.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace xfa {
 
 IntrusionSchedule IntrusionSchedule::periodic(SimTime start, SimTime duration,
                                               SimTime end) {
-  assert(duration > 0);
+  XFA_CHECK_GT(duration, 0);
   IntrusionSchedule schedule;
   schedule.periodic_ = true;
   schedule.start_ = start;

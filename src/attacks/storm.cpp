@@ -1,14 +1,14 @@
 #include "attacks/storm.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace xfa {
 
 UpdateStormAttack::UpdateStormAttack(Node& node, IntrusionSchedule schedule,
                                      const UpdateStormConfig& config)
     : node_(node), schedule_(std::move(schedule)), config_(config) {
-  assert(config.discoveries_per_second > 0);
-  assert(config.phantom_count > 0);
+  XFA_CHECK_GT(config.discoveries_per_second, 0);
+  XFA_CHECK_GT(config.phantom_count, 0);
 }
 
 void UpdateStormAttack::start() {

@@ -1,6 +1,6 @@
 #include "audit/audit.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace xfa {
 
@@ -41,11 +41,12 @@ void AuditLog::record_packet(SimTime t, AuditPacketType type,
                              FlowDirection dir) {
   // The paper's feature set excludes data x {forwarded, dropped}: data in
   // flight at intermediate hops is always encapsulated in a route packet.
-  assert(!(type == AuditPacketType::Data &&
-           (dir == FlowDirection::Forwarded || dir == FlowDirection::Dropped)));
+  XFA_CHECK(!(type == AuditPacketType::Data &&
+              (dir == FlowDirection::Forwarded ||
+               dir == FlowDirection::Dropped)));
   auto& stream =
       packets_[static_cast<std::size_t>(type)][static_cast<std::size_t>(dir)];
-  assert(stream.empty() || stream.back() <= t);
+  XFA_CHECK(stream.empty() || stream.back() <= t);
   stream.push_back(t);
   ++total_packets_;
   // Maintain the route(all) aggregate for specific control types.
@@ -57,7 +58,7 @@ void AuditLog::record_packet(SimTime t, AuditPacketType type,
 
 void AuditLog::record_route_event(SimTime t, RouteEventKind kind) {
   auto& stream = route_events_[static_cast<std::size_t>(kind)];
-  assert(stream.empty() || stream.back() <= t);
+  XFA_CHECK(stream.empty() || stream.back() <= t);
   stream.push_back(t);
   ++total_route_events_;
 }

@@ -1,8 +1,9 @@
 #include "cfa/model.h"
 
-#include <cassert>
 #include <cmath>
 #include <thread>
+
+#include "common/check.h"
 
 namespace xfa {
 
@@ -10,8 +11,10 @@ void CrossFeatureModel::train(const Dataset& normal_data,
                               const std::vector<std::size_t>& label_columns,
                               const ClassifierFactory& factory,
                               std::size_t threads) {
-  assert(!normal_data.rows.empty());
-  assert(!label_columns.empty());
+  XFA_CHECK(!normal_data.rows.empty());
+  XFA_CHECK(!label_columns.empty());
+  for (const std::size_t col : label_columns)
+    XFA_CHECK_LT(col, normal_data.columns()) << "label column out of range";
   label_columns_ = label_columns;
   submodels_.clear();
   submodels_.resize(label_columns_.size());
@@ -46,10 +49,12 @@ void CrossFeatureModel::train(const Dataset& normal_data,
 }
 
 EventScore CrossFeatureModel::score(const std::vector<int>& row) const {
-  assert(trained());
+  XFA_CHECK(trained());
   EventScore score;
   const auto count = static_cast<double>(submodels_.size());
   for (std::size_t i = 0; i < submodels_.size(); ++i) {
+    XFA_CHECK_LT(label_columns_[i], row.size())
+        << "row narrower than the trained schema";
     const int truth = row[label_columns_[i]];
     const std::vector<double> dist = submodels_[i]->predict_dist(row);
     // Match count (Algorithm 2): does the argmax equal the true value?
@@ -69,7 +74,7 @@ EventScore CrossFeatureModel::score(const std::vector<int>& row) const {
 
 std::vector<CrossFeatureModel::SubmodelVerdict> CrossFeatureModel::explain(
     const std::vector<int>& row) const {
-  assert(trained());
+  XFA_CHECK(trained());
   std::vector<SubmodelVerdict> verdicts;
   verdicts.reserve(submodels_.size());
   for (std::size_t i = 0; i < submodels_.size(); ++i) {
@@ -108,7 +113,10 @@ std::vector<EventScore> CrossFeatureModel::score_all(
 void CrossFeatureRegressionModel::train(
     const std::vector<std::vector<double>>& normal_rows,
     const std::vector<std::size_t>& label_columns) {
-  assert(!normal_rows.empty());
+  XFA_CHECK(!normal_rows.empty());
+  for (const std::size_t col : label_columns)
+    XFA_CHECK_LT(col, normal_rows.front().size())
+        << "label column out of range";
   label_columns_ = label_columns;
   submodels_.assign(label_columns_.size(), LinearRegression{});
 
@@ -131,7 +139,7 @@ void CrossFeatureRegressionModel::train(
 
 double CrossFeatureRegressionModel::mean_log_distance(
     const std::vector<double>& row) const {
-  assert(trained());
+  XFA_CHECK(trained());
   double total = 0;
   for (std::size_t i = 0; i < label_columns_.size(); ++i) {
     std::vector<double> features;

@@ -1,14 +1,15 @@
 #include "cfa/threshold.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace xfa {
 
 double select_threshold(std::vector<double> scores, double false_alarm_rate) {
-  assert(!scores.empty());
-  assert(false_alarm_rate >= 0 && false_alarm_rate < 1);
+  XFA_CHECK(!scores.empty());
+  XFA_CHECK(false_alarm_rate >= 0 && false_alarm_rate < 1);
   std::sort(scores.begin(), scores.end());
   const auto index = static_cast<std::size_t>(
       std::floor(false_alarm_rate * static_cast<double>(scores.size())));

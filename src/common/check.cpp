@@ -1,0 +1,22 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace xfa {
+namespace detail {
+
+CheckFailStream::CheckFailStream(const char* file, int line,
+                                 const char* expr) {
+  stream_ << file << ":" << line << ": XFA_CHECK failed: " << expr << " ";
+}
+
+CheckFailStream::~CheckFailStream() {
+  const std::string message = stream_.str();
+  std::fprintf(stderr, "%s\n", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace xfa

@@ -1,0 +1,93 @@
+// Always-on contract macros for invariants and API preconditions.
+//
+// The classic C assert macro vanishes under NDEBUG, which is exactly the
+// configuration tier-1 CI builds (RelWithDebInfo), so none of the repo's
+// invariants were actually exercised. XFA_CHECK stays armed in every build
+// type: on violation it prints `file:line`, the failed expression, and any
+// streamed message to stderr, then aborts.
+//
+//   XFA_CHECK(cond) << "optional context " << value;
+//   XFA_CHECK_GE(sample_interval, 1);   // prints both operand values
+//   XFA_DCHECK(expensive_invariant());  // debug builds only
+//
+// The comparison variants (XFA_CHECK_EQ/NE/LT/LE/GT/GE) re-evaluate their
+// operands when composing the failure message, so operands must be
+// side-effect free (they should be anyway — they are contracts).
+//
+// Repo policy (enforced by tools/xfa_lint.cpp): no raw C assert use anywhere
+// under src/; `static_assert` is of course still fine.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+
+namespace xfa {
+namespace detail {
+
+/// Accumulates the failure message; the destructor reports and aborts.
+/// Only ever constructed on the failure path of a check.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line, const char* expr);
+  [[noreturn]] ~CheckFailStream();
+
+  CheckFailStream(const CheckFailStream&) = delete;
+  CheckFailStream& operator=(const CheckFailStream&) = delete;
+
+  template <typename T>
+  CheckFailStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Lowest-precedence `operator&` swallows the stream expression so the
+/// failure arm of the ternary in XFA_CHECK has type void.
+struct Voidify {
+  void operator&(const CheckFailStream&) const {}
+};
+
+}  // namespace detail
+}  // namespace xfa
+
+#if defined(__GNUC__) || defined(__clang__)
+#define XFA_PREDICT_TRUE(x) (__builtin_expect(!!(x), 1))
+#else
+#define XFA_PREDICT_TRUE(x) (x)
+#endif
+
+/// Aborts with file:line and the expression text unless `cond` holds.
+/// Additional context can be streamed: XFA_CHECK(ok) << "ttl=" << ttl;
+#define XFA_CHECK(cond)                                   \
+  XFA_PREDICT_TRUE(cond)                                  \
+  ? (void)0                                               \
+  : ::xfa::detail::Voidify() & ::xfa::detail::CheckFailStream( \
+                                   __FILE__, __LINE__, #cond)
+
+#define XFA_CHECK_OP_(a, op, b)                                            \
+  XFA_PREDICT_TRUE((a)op(b))                                               \
+  ? (void)0                                                                \
+  : ::xfa::detail::Voidify() &                                             \
+          ::xfa::detail::CheckFailStream(__FILE__, __LINE__,               \
+                                         #a " " #op " " #b)                \
+              << "(" << (a) << " vs. " << (b) << ") "
+
+/// Comparison checks that print both operand values on failure.
+#define XFA_CHECK_EQ(a, b) XFA_CHECK_OP_(a, ==, b)
+#define XFA_CHECK_NE(a, b) XFA_CHECK_OP_(a, !=, b)
+#define XFA_CHECK_LT(a, b) XFA_CHECK_OP_(a, <, b)
+#define XFA_CHECK_LE(a, b) XFA_CHECK_OP_(a, <=, b)
+#define XFA_CHECK_GT(a, b) XFA_CHECK_OP_(a, >, b)
+#define XFA_CHECK_GE(a, b) XFA_CHECK_OP_(a, >=, b)
+
+// Debug-only variant for checks too hot for release builds. The condition is
+// still parsed and type-checked in release so it cannot rot.
+#ifdef NDEBUG
+#define XFA_DCHECK(cond) \
+  while (false) XFA_CHECK(cond)
+#else
+#define XFA_DCHECK(cond) XFA_CHECK(cond)
+#endif

@@ -1,15 +1,16 @@
 #include "eval/density.h"
 
 #include <algorithm>
-#include <cassert>
 #include <sstream>
 #include <string>
+
+#include "common/check.h"
 
 namespace xfa {
 
 DensityHistogram density_histogram(const std::vector<double>& values,
                                    std::size_t bins, double lo, double hi) {
-  assert(bins > 0 && hi > lo);
+  XFA_CHECK(bins > 0 && hi > lo);
   DensityHistogram hist;
   hist.lo = lo;
   hist.hi = hi;

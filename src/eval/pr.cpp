@@ -1,8 +1,9 @@
 #include "eval/pr.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace xfa {
 
@@ -17,7 +18,7 @@ double PrCurve::area_under_curve() const {
 }
 
 PrPoint PrCurve::optimal_point() const {
-  assert(!points.empty());
+  XFA_CHECK(!points.empty());
   const PrPoint* best = &points.front();
   double best_distance = 1e18;
   for (const PrPoint& point : points) {
@@ -34,7 +35,7 @@ PrPoint PrCurve::optimal_point() const {
 
 PrCurve recall_precision_curve(const std::vector<double>& scores,
                                const std::vector<int>& labels) {
-  assert(scores.size() == labels.size());
+  XFA_CHECK_EQ(scores.size(), labels.size());
   PrCurve curve;
   if (scores.empty()) return curve;
 

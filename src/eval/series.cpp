@@ -1,7 +1,8 @@
 #include "eval/series.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace xfa {
 
@@ -14,7 +15,7 @@ TimeSeries average_series(const std::vector<TimeSeries>& series) {
   out.values.assign(longest, 0.0);
   std::vector<std::size_t> contributors(longest, 0);
   for (const TimeSeries& s : series) {
-    assert(s.times.size() == s.values.size());
+    XFA_CHECK_EQ(s.times.size(), s.values.size());
     for (std::size_t i = 0; i < s.size(); ++i) {
       out.times[i] = s.times[i];
       out.values[i] += s.values[i];
@@ -27,7 +28,7 @@ TimeSeries average_series(const std::vector<TimeSeries>& series) {
 }
 
 TimeSeries downsample(const TimeSeries& series, SimTime window) {
-  assert(window > 0);
+  XFA_CHECK_GT(window, 0);
   TimeSeries out;
   if (series.size() == 0) return out;
   SimTime window_end = window;

@@ -1,8 +1,8 @@
 #include "features/discretize.h"
 
 #include <algorithm>
-#include <cassert>
 
+#include "common/check.h"
 #include "sim/rng.h"
 
 namespace xfa {
@@ -10,8 +10,8 @@ namespace xfa {
 void EqualFrequencyDiscretizer::fit(
     const std::vector<std::vector<double>>& rows, std::size_t max_fit_rows,
     std::uint64_t seed) {
-  assert(!rows.empty());
-  assert(buckets_ >= 2);
+  XFA_CHECK(!rows.empty());
+  XFA_CHECK_GE(buckets_, 2);
 
   // Optional pre-filtering subset.
   std::vector<const std::vector<double>*> sample;
@@ -59,20 +59,26 @@ void EqualFrequencyDiscretizer::fit(
     // A cut at the column maximum adds no information; drop it so constant
     // columns yield a single bucket.
     if (!cuts.empty() && cuts.back() >= values.back()) cuts.pop_back();
+    // Postcondition: strictly increasing cuts, and never more buckets than
+    // requested — transform_value depends on both.
+    XFA_CHECK(std::is_sorted(cuts.begin(), cuts.end()));
+    XFA_CHECK_LT(static_cast<int>(cuts.size()), buckets_);
   }
 }
 
 int EqualFrequencyDiscretizer::transform_value(std::size_t column,
                                                double value) const {
-  assert(column < boundaries_.size());
+  XFA_CHECK_LT(column, boundaries_.size());
   const std::vector<double>& cuts = boundaries_[column];
   const auto it = std::lower_bound(cuts.begin(), cuts.end(), value);
-  return static_cast<int>(it - cuts.begin());
+  const int bucket = static_cast<int>(it - cuts.begin());
+  XFA_DCHECK(bucket >= 0 && bucket < cardinality(column));
+  return bucket;
 }
 
 DiscreteTrace EqualFrequencyDiscretizer::transform(
     const RawTrace& trace) const {
-  assert(fitted());
+  XFA_CHECK(fitted());
   DiscreteTrace out;
   out.times = trace.times;
   out.labels = trace.labels;
@@ -81,7 +87,7 @@ DiscreteTrace EqualFrequencyDiscretizer::transform(
     out.cardinality[c] = cardinality(c);
   out.rows.reserve(trace.rows.size());
   for (const auto& row : trace.rows) {
-    assert(row.size() == boundaries_.size());
+    XFA_CHECK_EQ(row.size(), boundaries_.size());
     std::vector<int> discrete(row.size());
     for (std::size_t c = 0; c < row.size(); ++c)
       discrete[c] = transform_value(c, row[c]);

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <array>
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace xfa {
 
@@ -35,7 +36,7 @@ double iat_stddev_in_window(const std::vector<SimTime>& times, SimTime t,
 FeatureExtractor::FeatureExtractor(const FeatureSchema& schema,
                                    SimTime sample_interval)
     : schema_(schema), interval_(sample_interval) {
-  assert(sample_interval > 0);
+  XFA_CHECK_GT(sample_interval, 0);
 }
 
 std::size_t FeatureExtractor::sample_count(SimTime duration) const {
@@ -46,8 +47,8 @@ RawTrace FeatureExtractor::extract(const AuditLog& audit,
                                    const SampledNodeState& state,
                                    SimTime duration) const {
   const std::size_t samples = sample_count(duration);
-  assert(state.velocity.size() >= samples);
-  assert(state.average_route_len.size() >= samples);
+  XFA_CHECK_GE(state.velocity.size(), samples);
+  XFA_CHECK_GE(state.average_route_len.size(), samples);
 
   RawTrace trace;
   trace.times.reserve(samples);

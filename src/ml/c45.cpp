@@ -1,9 +1,10 @@
 #include "ml/c45.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <string>
+
+#include "common/check.h"
 
 namespace xfa {
 namespace {
@@ -58,8 +59,8 @@ C45::C45(const C45Config& config) : config_(config) {}
 void C45::fit(const Dataset& data,
               const std::vector<std::size_t>& feature_columns,
               std::size_t label_column) {
-  assert(!data.rows.empty());
-  assert(label_column < data.columns());
+  XFA_CHECK(!data.rows.empty());
+  XFA_CHECK_LT(label_column, data.columns());
   label_cardinality_ = data.cardinality[label_column];
 
   std::vector<std::size_t> all_rows(data.size());
@@ -187,7 +188,7 @@ double C45::prune_node(TreeNode& node) {
 }
 
 const C45::TreeNode* C45::walk(const std::vector<int>& row) const {
-  assert(root_ != nullptr && "predict before fit");
+  XFA_CHECK(root_ != nullptr) << "predict before fit";
   const TreeNode* node = root_.get();
   while (!node->children.empty()) {
     const auto v = static_cast<std::size_t>(row[node->split_column]);
@@ -216,8 +217,12 @@ std::string C45::describe(
     const std::vector<std::string>& feature_names) const {
   std::string out;
   const auto name_of = [&](std::size_t column) -> std::string {
-    return column < feature_names.size() ? feature_names[column]
-                                         : "f" + std::to_string(column);
+    if (column < feature_names.size()) return feature_names[column];
+    // Built up with += rather than `"f" + std::to_string(...)`: GCC 12's
+    // -Wrestrict misfires on that operator+ chain at -O3 under -Werror.
+    std::string fallback = "f";
+    fallback += std::to_string(column);
+    return fallback;
   };
   const std::function<void(const TreeNode&, int)> visit =
       [&](const TreeNode& node, int indent) {

@@ -1,18 +1,19 @@
 #include "ml/dataset.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace xfa {
 
 bool Dataset::valid() const {
   for (const auto& row : rows) {
     if (row.size() != cardinality.size()) {
-      assert(false && "row width mismatch");
+      // valid() is a query: trap in debug builds, report in release.
+      XFA_DCHECK(false) << "row width mismatch";
       return false;
     }
     for (std::size_t c = 0; c < row.size(); ++c) {
       if (row[c] < 0 || row[c] >= cardinality[c]) {
-        assert(false && "value out of cardinality range");
+        XFA_DCHECK(false) << "value out of cardinality range";
         return false;
       }
     }

@@ -1,14 +1,15 @@
 #include "ml/linreg.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace xfa {
 
 void LinearRegression::fit(const std::vector<std::vector<double>>& x,
                            const std::vector<double>& y, double ridge) {
-  assert(!x.empty() && x.size() == y.size());
+  XFA_CHECK(!x.empty() && x.size() == y.size());
   const std::size_t d = x.front().size();
   const std::size_t n = d + 1;  // + intercept
 
@@ -17,7 +18,7 @@ void LinearRegression::fit(const std::vector<std::vector<double>>& x,
   std::vector<std::vector<double>> a(n, std::vector<double>(n, 0.0));
   std::vector<double> b(n, 0.0);
   for (std::size_t r = 0; r < x.size(); ++r) {
-    assert(x[r].size() == d);
+    XFA_CHECK_EQ(x[r].size(), d);
     const auto feature = [&](std::size_t i) {
       return i < d ? x[r][i] : 1.0;
     };
@@ -55,7 +56,7 @@ void LinearRegression::fit(const std::vector<std::vector<double>>& x,
 }
 
 double LinearRegression::predict(const std::vector<double>& row) const {
-  assert(fitted() && row.size() == weights_.size());
+  XFA_CHECK(fitted() && row.size() == weights_.size());
   double y = intercept_;
   for (std::size_t i = 0; i < weights_.size(); ++i)
     y += weights_[i] * row[i];

@@ -1,7 +1,6 @@
 #include "ml/metrics.h"
 
-#include <cassert>
-
+#include "common/check.h"
 #include "sim/rng.h"
 
 namespace xfa {
@@ -32,7 +31,7 @@ std::vector<std::vector<std::size_t>> confusion_matrix(
 
 std::vector<std::size_t> kfold_assignment(std::size_t rows, std::size_t folds,
                                           std::uint64_t seed) {
-  assert(folds > 0);
+  XFA_CHECK_GT(folds, 0);
   std::vector<std::size_t> assignment(rows);
   for (std::size_t i = 0; i < rows; ++i) assignment[i] = i % folds;
   Rng rng(seed);

@@ -1,15 +1,16 @@
 #include "ml/naive_bayes.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace xfa {
 
 void NaiveBayes::fit(const Dataset& data,
                      const std::vector<std::size_t>& feature_columns,
                      std::size_t label_column) {
-  assert(!data.rows.empty());
+  XFA_CHECK(!data.rows.empty());
   feature_columns_ = feature_columns;
   const auto classes = static_cast<std::size_t>(
       data.cardinality[label_column]);
@@ -36,7 +37,7 @@ void NaiveBayes::fit(const Dataset& data,
 
 std::vector<double> NaiveBayes::predict_dist(
     const std::vector<int>& row) const {
-  assert(!class_counts_.empty() && "predict before fit");
+  XFA_CHECK(!class_counts_.empty()) << "predict before fit";
   const std::size_t classes = class_counts_.size();
   // Work in log space to avoid underflow across ~140 factors.
   std::vector<double> log_score(classes);

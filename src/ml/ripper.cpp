@@ -1,10 +1,10 @@
 #include "ml/ripper.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <string>
 
+#include "common/check.h"
 #include "sim/rng.h"
 
 namespace xfa {
@@ -29,7 +29,7 @@ bool Ripper::matches(const Rule& rule, const std::vector<int>& row) {
 void Ripper::fit(const Dataset& data,
                  const std::vector<std::size_t>& feature_columns,
                  std::size_t label_column) {
-  assert(!data.rows.empty());
+  XFA_CHECK(!data.rows.empty());
   rules_.clear();
   label_cardinality_ = data.cardinality[label_column];
   const auto classes = static_cast<std::size_t>(label_cardinality_);
@@ -186,8 +186,12 @@ void Ripper::fit(const Dataset& data,
 std::string Ripper::describe(
     const std::vector<std::string>& feature_names) const {
   const auto name_of = [&](std::size_t column) -> std::string {
-    return column < feature_names.size() ? feature_names[column]
-                                         : "f" + std::to_string(column);
+    if (column < feature_names.size()) return feature_names[column];
+    // Built up with += rather than `"f" + std::to_string(...)`: GCC 12's
+    // -Wrestrict misfires on that operator+ chain at -O3 under -Werror.
+    std::string fallback = "f";
+    fallback += std::to_string(column);
+    return fallback;
   };
   std::string out;
   for (const Rule& rule : rules_) {
@@ -215,7 +219,7 @@ std::string Ripper::describe(
 }
 
 std::vector<double> Ripper::predict_dist(const std::vector<int>& row) const {
-  assert(label_cardinality_ > 0 && "predict before fit");
+  XFA_CHECK(label_cardinality_ > 0) << "predict before fit";
   for (const Rule& rule : rules_)
     if (matches(rule, row)) return laplace_distribution(rule.class_counts);
   return laplace_distribution(default_counts_);

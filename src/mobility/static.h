@@ -4,9 +4,9 @@
 // deterministically.
 #pragma once
 
-#include <cassert>
 #include <vector>
 
+#include "common/check.h"
 #include "mobility/waypoint.h"
 
 namespace xfa {
@@ -26,7 +26,7 @@ class StaticPositions final : public MobilityModel {
   }
 
   Vec2 position(NodeId node, SimTime) const override {
-    assert(node >= 0 && static_cast<std::size_t>(node) < positions_.size());
+    XFA_CHECK(node >= 0 && static_cast<std::size_t>(node) < positions_.size());
     return positions_[static_cast<std::size_t>(node)];
   }
 
@@ -34,7 +34,7 @@ class StaticPositions final : public MobilityModel {
 
   /// Teleports a node (e.g. out of range, to sever a link).
   void move(NodeId node, Vec2 to) {
-    assert(node >= 0 && static_cast<std::size_t>(node) < positions_.size());
+    XFA_CHECK(node >= 0 && static_cast<std::size_t>(node) < positions_.size());
     positions_[static_cast<std::size_t>(node)] = to;
   }
 

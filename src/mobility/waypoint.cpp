@@ -1,7 +1,8 @@
 #include "mobility/waypoint.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace xfa {
 
@@ -9,8 +10,8 @@ RandomWaypointMobility::RandomWaypointMobility(std::size_t node_count,
                                                const MobilityConfig& config,
                                                Rng rng)
     : config_(config), rng_(rng) {
-  assert(config.max_speed > 0 && config.min_speed > 0);
-  assert(config.min_speed <= config.max_speed);
+  XFA_CHECK(config.max_speed > 0 && config.min_speed > 0);
+  XFA_CHECK_LE(config.min_speed, config.max_speed);
   nodes_.reserve(node_count);
   node_rngs_.reserve(node_count);
   for (std::size_t i = 0; i < node_count; ++i) {
@@ -54,7 +55,7 @@ void RandomWaypointMobility::advance(std::size_t node, SimTime t) const {
 }
 
 Vec2 RandomWaypointMobility::position(NodeId node, SimTime t) const {
-  assert(node >= 0 && static_cast<std::size_t>(node) < nodes_.size());
+  XFA_CHECK(node >= 0 && static_cast<std::size_t>(node) < nodes_.size());
   advance(static_cast<std::size_t>(node), t);
   const Segment& s = nodes_[static_cast<std::size_t>(node)];
   // Queries are expected to be (per node) non-decreasing in time; a query
@@ -68,7 +69,7 @@ Vec2 RandomWaypointMobility::position(NodeId node, SimTime t) const {
 }
 
 double RandomWaypointMobility::speed(NodeId node, SimTime t) const {
-  assert(node >= 0 && static_cast<std::size_t>(node) < nodes_.size());
+  XFA_CHECK(node >= 0 && static_cast<std::size_t>(node) < nodes_.size());
   advance(static_cast<std::size_t>(node), t);
   return nodes_[static_cast<std::size_t>(node)].speed;
 }

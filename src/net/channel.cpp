@@ -1,7 +1,6 @@
 #include "net/channel.h"
 
-#include <cassert>
-
+#include "common/check.h"
 #include "net/node.h"
 
 namespace xfa {
@@ -9,13 +8,13 @@ namespace xfa {
 Channel::Channel(Simulator& sim, const MobilityModel& mobility,
                  const ChannelConfig& config)
     : sim_(sim), mobility_(mobility), config_(config), rng_(sim.fork_rng()) {
-  assert(config.range_m > 0 && config.bandwidth_bps > 0);
-  assert(config.loss_rate >= 0 && config.loss_rate < 1);
+  XFA_CHECK(config.range_m > 0 && config.bandwidth_bps > 0);
+  XFA_CHECK(config.loss_rate >= 0 && config.loss_rate < 1);
 }
 
 void Channel::register_node(Node& node) {
-  assert(node.id() == static_cast<NodeId>(nodes_.size()) &&
-         "nodes must register in id order");
+  XFA_CHECK(node.id() == static_cast<NodeId>(nodes_.size()))
+      << "nodes must register in id order";
   nodes_.push_back(&node);
 }
 
@@ -40,7 +39,11 @@ SimTime Channel::transmission_delay(const Packet& pkt) const {
 }
 
 void Channel::transmit(NodeId from, Packet pkt, NodeId to) {
-  assert(from >= 0 && static_cast<std::size_t>(from) < nodes_.size());
+  XFA_CHECK(from >= 0 && static_cast<std::size_t>(from) < nodes_.size());
+  // Routing agents drop expired packets before handing them down, so a
+  // zero-TTL or zero-size packet on the channel is a protocol bug.
+  XFA_CHECK_GT(pkt.ttl, 0) << pkt.describe();
+  XFA_CHECK_GT(pkt.size_bytes, 0u) << pkt.describe();
   ++stats_.transmissions;
   if (pkt.uid == 0) pkt.uid = next_uid();
 

@@ -1,5 +1,6 @@
 #include "net/node.h"
 
+#include "common/check.h"
 #include "net/channel.h"
 
 namespace xfa {
@@ -13,7 +14,7 @@ void Node::set_routing(std::unique_ptr<RoutingProtocol> routing) {
 
 void Node::send_data(NodeId dst, std::uint32_t flow_id, std::uint32_t seq,
                      std::uint32_t bytes, bool is_ack) {
-  assert(routing_ != nullptr);
+  XFA_CHECK_NE(routing_, nullptr);
   Packet pkt;
   pkt.kind = PacketKind::Data;
   pkt.src = id_;
@@ -28,7 +29,7 @@ void Node::send_data(NodeId dst, std::uint32_t flow_id, std::uint32_t seq,
 }
 
 void Node::deliver(Packet pkt, NodeId from) {
-  assert(routing_ != nullptr);
+  XFA_CHECK_NE(routing_, nullptr);
   routing_->receive(std::move(pkt), from);
 }
 
@@ -48,7 +49,7 @@ void Node::deliver_to_transport(const Packet& pkt) {
 }
 
 void Node::register_sink(std::uint32_t flow_id, TransportSink* sink) {
-  assert(sink != nullptr);
+  XFA_CHECK_NE(sink, nullptr);
   sinks_[flow_id] = sink;
 }
 

@@ -1,13 +1,13 @@
 // Node: a mobile host gluing together routing, transport, audit and attacks.
 #pragma once
 
-#include <cassert>
 #include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "audit/audit.h"
+#include "common/check.h"
 #include "net/packet.h"
 #include "sim/simulator.h"
 
@@ -80,11 +80,11 @@ class Node {
 
   void set_routing(std::unique_ptr<RoutingProtocol> routing);
   RoutingProtocol& routing() {
-    assert(routing_ != nullptr);
+    XFA_CHECK_NE(routing_, nullptr);
     return *routing_;
   }
   const RoutingProtocol& routing() const {
-    assert(routing_ != nullptr);
+    XFA_CHECK_NE(routing_, nullptr);
     return *routing_;
   }
   bool has_routing() const { return routing_ != nullptr; }

@@ -1,9 +1,10 @@
 #include "routing/aodv/aodv.h"
 
 #include <algorithm>
-#include <cassert>
 #include <memory>
 #include <utility>
+
+#include "common/check.h"
 
 namespace xfa {
 
@@ -193,7 +194,7 @@ void Aodv::send_rrep(const AodvRreqHeader& rreq, NodeId reply_to,
   reply.target = rreq.target;
   if (from_cache) {
     const AodvRouteEntry* route = table_.lookup(rreq.target, now);
-    assert(route != nullptr);
+    XFA_CHECK_NE(route, nullptr);
     reply.target_seqno = route->seqno;
     reply.hop_count = static_cast<std::uint16_t>(route->hop_count);
     reply.lifetime = route->expiry - now;

@@ -1,8 +1,9 @@
 #include "routing/dsr/dsr.h"
 
 #include <algorithm>
-#include <cassert>
 #include <utility>
+
+#include "common/check.h"
 
 namespace xfa {
 namespace {
@@ -47,7 +48,7 @@ void Dsr::learn_path(std::vector<NodeId> hops, SeqNo freshness,
 void Dsr::learn_from_route(const std::vector<NodeId>& route,
                            std::size_t self_index, SeqNo freshness,
                            PathOrigin origin) {
-  assert(self_index < route.size() && route[self_index] == node_.id());
+  XFA_CHECK(self_index < route.size() && route[self_index] == node_.id());
   // Downstream sub-paths: self -> route[j] for j > self_index.
   for (std::size_t j = self_index + 1; j < route.size(); ++j) {
     learn_path(std::vector<NodeId>(route.begin() + self_index + 1,

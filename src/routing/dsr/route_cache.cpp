@@ -1,7 +1,8 @@
 #include "routing/dsr/route_cache.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace xfa {
 

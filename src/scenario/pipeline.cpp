@@ -1,9 +1,9 @@
 #include "scenario/pipeline.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cstdlib>
 
+#include "common/check.h"
 #include "ml/c45.h"
 #include "ml/naive_bayes.h"
 #include "ml/ripper.h"
@@ -108,7 +108,7 @@ Detector train_detector(const RawTrace& train_normal,
                         const ClassifierFactory& factory,
                         const DetectorOptions& options,
                         const RawTrace* threshold_normal) {
-  assert(!train_normal.rows.empty());
+  XFA_CHECK(!train_normal.rows.empty());
   Detector detector;
   detector.discretizer =
       EqualFrequencyDiscretizer(options.buckets, options.min_relative_gap);

@@ -1,7 +1,6 @@
 #include "scenario/runner.h"
 
 #include <algorithm>
-#include <cassert>
 #include <memory>
 #include <vector>
 
@@ -9,6 +8,7 @@
 #include "attacks/drop_variants.h"
 #include "attacks/dropper.h"
 #include "attacks/storm.h"
+#include "common/check.h"
 #include "net/node.h"
 #include "routing/aodv/aodv.h"
 #include "routing/dsr/dsr.h"
@@ -31,9 +31,10 @@ NodeId resolve_drop_target(const std::vector<Flow>& flows, NodeId attacker,
 }
 
 ScenarioResult simulate(const ScenarioConfig& config) {
-  assert(config.node_count >= 2);
-  assert(config.monitor_node >= 0 &&
-         static_cast<std::size_t>(config.monitor_node) < config.node_count);
+  XFA_CHECK_GE(config.node_count, 2);
+  XFA_CHECK(config.monitor_node >= 0 &&
+            static_cast<std::size_t>(config.monitor_node) <
+                config.node_count);
 
   Simulator sim(config.seed);
   // The mobility scenario has its own seed (shared across an experiment's

@@ -1,7 +1,8 @@
 #include "sim/rng.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace xfa {
 namespace {
@@ -43,12 +44,12 @@ double Rng::uniform() {
 }
 
 double Rng::uniform(double lo, double hi) {
-  assert(lo <= hi);
+  XFA_CHECK_LE(lo, hi);
   return lo + (hi - lo) * uniform();
 }
 
 std::uint64_t Rng::uniform_int(std::uint64_t n) {
-  assert(n > 0);
+  XFA_CHECK_GT(n, 0);
   // Rejection sampling to avoid modulo bias.
   const std::uint64_t limit = max() - max() % n;
   std::uint64_t v;
@@ -59,7 +60,7 @@ std::uint64_t Rng::uniform_int(std::uint64_t n) {
 }
 
 double Rng::exponential(double mean) {
-  assert(mean > 0);
+  XFA_CHECK_GT(mean, 0);
   double u;
   do {
     u = uniform();

@@ -1,13 +1,14 @@
 #include "sim/scheduler.h"
 
-#include <cassert>
 #include <utility>
+
+#include "common/check.h"
 
 namespace xfa {
 
 EventId Scheduler::schedule_at(SimTime at, std::function<void()> fn) {
-  assert(at >= now_ && "cannot schedule into the past");
-  assert(fn && "null event callback");
+  XFA_CHECK(at >= now_) << "cannot schedule into the past";
+  XFA_CHECK(fn) << "null event callback";
   const EventId id = next_id_++;
   queue_.push(Entry{at, next_seq_++, id});
   callbacks_.emplace(id, std::move(fn));
@@ -15,7 +16,7 @@ EventId Scheduler::schedule_at(SimTime at, std::function<void()> fn) {
 }
 
 EventId Scheduler::schedule_in(SimTime delay, std::function<void()> fn) {
-  assert(delay >= 0);
+  XFA_CHECK_GE(delay, 0);
   return schedule_at(now_ + delay, std::move(fn));
 }
 
@@ -33,10 +34,13 @@ void Scheduler::dispatch_next() {
   const auto it = callbacks_.find(entry.id);
   if (it == callbacks_.end()) {
     // Cancelled event: discard silently.
-    assert(cancelled_pending_ > 0);
+    XFA_CHECK_GT(cancelled_pending_, 0);
     --cancelled_pending_;
     return;
   }
+  // Dispatch order is the core determinism invariant: the queue must hand
+  // back events in non-decreasing time.
+  XFA_CHECK_GE(entry.at, now_) << "event queue regressed in time";
   now_ = entry.at;
   // Move out before invoking: the callback may schedule/cancel re-entrantly.
   auto fn = std::move(it->second);

@@ -1,6 +1,6 @@
 #include "transport/cbr.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace xfa {
 
@@ -23,7 +23,7 @@ CbrSource::CbrSource(Node& node, NodeId dst, std::uint32_t flow_id,
       packet_bytes_(packet_bytes),
       stop_(stop),
       rng_(node.sim().fork_rng()) {
-  assert(rate_pps > 0);
+  XFA_CHECK_GT(rate_pps, 0);
   node_.sim().at(start, [this] { send_next(); });
 }
 

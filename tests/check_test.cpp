@@ -1,0 +1,60 @@
+// Contract-macro behaviour: XFA_CHECK must stay armed in release builds
+// (this suite runs under NDEBUG in tier-1 CI) and report enough context to
+// debug from the failure line alone.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace xfa {
+namespace {
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  XFA_CHECK(true);
+  XFA_CHECK(1 + 1 == 2) << "never rendered";
+  XFA_CHECK_EQ(4, 4);
+  XFA_CHECK_NE(4, 5);
+  XFA_CHECK_LT(4, 5);
+  XFA_CHECK_LE(4, 4);
+  XFA_CHECK_GT(5, 4);
+  XFA_CHECK_GE(4, 4);
+}
+
+TEST(CheckDeathTest, FailureReportsExpressionAndLocation) {
+  EXPECT_DEATH(XFA_CHECK(2 + 2 == 5), "check_test.cpp.*2 \\+ 2 == 5");
+}
+
+TEST(CheckDeathTest, StreamedMessageIsIncluded) {
+  EXPECT_DEATH(XFA_CHECK(false) << "ttl=" << 7, "ttl=7");
+}
+
+TEST(CheckDeathTest, ComparisonVariantsPrintBothOperands) {
+  const int lo = 3;
+  const int hi = 9;
+  EXPECT_DEATH(XFA_CHECK_GE(lo, hi), "lo >= hi.*\\(3 vs. 9\\)");
+  EXPECT_DEATH(XFA_CHECK_LT(hi, lo), "hi < lo.*\\(9 vs. 3\\)");
+  EXPECT_DEATH(XFA_CHECK_EQ(lo, hi) << "context", "\\(3 vs. 9\\) context");
+}
+
+TEST(CheckDeathTest, CheckComposesWithControlFlow) {
+  // The macros must behave as single statements under unbraced if/else.
+  const bool flag = true;
+  if (flag)
+    XFA_CHECK(true);
+  else
+    XFA_CHECK(false);
+  EXPECT_DEATH({ if (flag) XFA_CHECK(false) << "branch"; }, "branch");
+}
+
+TEST(CheckTest, DcheckMatchesBuildConfiguration) {
+#ifdef NDEBUG
+  // Compiled to a dead loop: the condition must not be evaluated.
+  bool evaluated = false;
+  XFA_DCHECK(((evaluated = true), false));
+  EXPECT_FALSE(evaluated);
+#else
+  EXPECT_DEATH(XFA_DCHECK(false), "false");
+#endif
+}
+
+}  // namespace
+}  // namespace xfa

@@ -1,0 +1,169 @@
+// xfa_lint: repo-specific static checks, run as a ctest case.
+//
+// Usage: xfa_lint <repo-root>
+//
+// Rules enforced over every .h/.cpp under <repo-root>/src:
+//
+//   rng-determinism   No std::rand, std::random_device, srand, or time(...)
+//                     outside src/sim/rng.* — every stochastic draw must go
+//                     through the centrally seeded xfa::Rng so identical
+//                     scenario seeds reproduce traces byte-for-byte.
+//   no-raw-assert     No <cassert>-style checks; contracts must use the
+//                     XFA_CHECK family (src/common/check.h), which stays
+//                     armed in release builds. static_assert is fine.
+//   pragma-once       Every header opens with `#pragma once` (after any
+//                     leading comment block).
+//   cmake-registered  Every .cpp under src/ appears in src/CMakeLists.txt,
+//                     so no translation unit silently drops out of the build
+//                     (and out of clang-tidy / sanitizer coverage).
+//
+// Exit status is the number of violations (0 == clean), each printed as
+// `file:line: rule: message` so editors can jump to them.
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+int violations = 0;
+
+void report(const fs::path& file, std::size_t line, const char* rule,
+            const std::string& message) {
+  std::fprintf(stderr, "%s:%zu: %s: %s\n", file.string().c_str(), line, rule,
+               message.c_str());
+  ++violations;
+}
+
+bool identifier_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// True when `token` occurs in `line` not preceded by an identifier
+/// character (so `lifetime(` does not trip the `time(` rule, and
+/// `static_assert(` does not trip the `assert(` rule).
+bool contains_token(const std::string& line, const std::string& token) {
+  for (std::size_t pos = line.find(token); pos != std::string::npos;
+       pos = line.find(token, pos + 1)) {
+    if (pos == 0 || !identifier_char(line[pos - 1])) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> read_lines(const fs::path& file) {
+  std::ifstream in(file);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+void check_determinism(const fs::path& file, const fs::path& rel,
+                       const std::vector<std::string>& lines) {
+  // The central RNG is the one place allowed to touch raw entropy sources.
+  if (rel.string().rfind("sim/rng.", 0) == 0) return;
+  static const char* const kBanned[] = {"std::rand", "random_device", "srand",
+                                        "time("};
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    for (const char* token : kBanned) {
+      if (contains_token(lines[i], token)) {
+        report(file, i + 1, "rng-determinism",
+               std::string("'") + token +
+                   "' breaks trace reproducibility; draw from the scenario's "
+                   "xfa::Rng (src/sim/rng.h) instead");
+      }
+    }
+  }
+}
+
+void check_no_raw_assert(const fs::path& file,
+                         const std::vector<std::string>& lines) {
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (contains_token(lines[i], "assert(")) {
+      report(file, i + 1, "no-raw-assert",
+             "compiled out under NDEBUG; use XFA_CHECK from common/check.h");
+    }
+    if (lines[i].find("<cassert>") != std::string::npos ||
+        lines[i].find("<assert.h>") != std::string::npos) {
+      report(file, i + 1, "no-raw-assert",
+             "include common/check.h instead of the C assert header");
+    }
+  }
+}
+
+void check_pragma_once(const fs::path& file,
+                       const std::vector<std::string>& lines) {
+  bool in_block_comment = false;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::string trimmed = lines[i];
+    const std::size_t first = trimmed.find_first_not_of(" \t");
+    trimmed = first == std::string::npos ? "" : trimmed.substr(first);
+    if (in_block_comment) {
+      if (trimmed.find("*/") != std::string::npos) in_block_comment = false;
+      continue;
+    }
+    if (trimmed.empty() || trimmed.rfind("//", 0) == 0) continue;
+    if (trimmed.rfind("/*", 0) == 0) {
+      if (trimmed.find("*/") == std::string::npos) in_block_comment = true;
+      continue;
+    }
+    if (trimmed.rfind("#pragma once", 0) != 0) {
+      report(file, i + 1, "pragma-once",
+             "headers must start with #pragma once (after leading comments)");
+    }
+    return;
+  }
+  report(file, 1, "pragma-once", "empty header missing #pragma once");
+}
+
+void check_cmake_registered(const fs::path& file, const fs::path& rel,
+                            const std::string& cmake_text) {
+  if (cmake_text.find(rel.generic_string()) == std::string::npos) {
+    report(file, 1, "cmake-registered",
+           rel.generic_string() + " is not listed in src/CMakeLists.txt");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <repo-root>\n", argv[0]);
+    return 64;
+  }
+  const fs::path src_root = fs::path(argv[1]) / "src";
+  if (!fs::is_directory(src_root)) {
+    std::fprintf(stderr, "xfa_lint: no src/ directory under %s\n", argv[1]);
+    return 64;
+  }
+
+  std::ostringstream cmake_buffer;
+  cmake_buffer << std::ifstream(src_root / "CMakeLists.txt").rdbuf();
+  const std::string cmake_text = cmake_buffer.str();
+
+  std::size_t files_checked = 0;
+  for (const auto& entry : fs::recursive_directory_iterator(src_root)) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path& file = entry.path();
+    const std::string ext = file.extension().string();
+    if (ext != ".h" && ext != ".cpp") continue;
+    const fs::path rel = fs::relative(file, src_root);
+    const std::vector<std::string> lines = read_lines(file);
+    ++files_checked;
+
+    check_determinism(file, rel, lines);
+    check_no_raw_assert(file, lines);
+    if (ext == ".h") check_pragma_once(file, lines);
+    if (ext == ".cpp") check_cmake_registered(file, rel, cmake_text);
+  }
+
+  std::printf("xfa_lint: %zu files checked, %d violation(s)\n", files_checked,
+              violations);
+  return violations;
+}
