@@ -2,7 +2,10 @@
 # Full correctness gate: build + test the tree twice —
 #   1. plain Release with XFA_WERROR=ON (warnings are errors), and
 #   2. ASan+UBSan with recovery disabled (any report aborts the test) —
-# running the xfa_lint repo rules in both. CI runs exactly this script.
+# running the xfa_lint repo rules in both, then re-running the chaos /
+# corruption robustness suites under the sanitizers with the cache forced
+# live (XFA_NO_CACHE) so every fault-injection and artifact-parsing path is
+# actually exercised under ASan+UBSan. CI runs exactly this script.
 #
 # Usage: scripts/check.sh [jobs]
 set -euo pipefail
@@ -28,5 +31,15 @@ run_pass "release" build-check-release -DCMAKE_BUILD_TYPE=Release
 run_pass "asan+ubsan" build-check-sanitize \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DXFA_SANITIZE="address;undefined"
+
+# Robustness gate: the corruption sweeps (cache_robustness_test), the
+# fault-injection layer (faults_test, degraded_cfa_test), and the
+# determinism-under-faults guard must all hold with sanitizers armed and
+# caching disabled — no cache artifact may crash the process, and no chaos
+# path may contain UB.
+echo "=== asan+ubsan: chaos/corruption robustness (cache disabled) ==="
+XFA_NO_CACHE=1 ctest --test-dir build-check-sanitize -j "${JOBS}" \
+  -R 'CacheRobustness|FaultPlan|FaultInjector|FaultScenario|DegradedCfa|DegradedPipeline|Determinism' \
+  --output-on-failure
 
 echo "All checks passed."

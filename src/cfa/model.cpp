@@ -7,15 +7,50 @@
 
 namespace xfa {
 
-void CrossFeatureModel::train(const Dataset& normal_data,
-                              const std::vector<std::size_t>& label_columns,
-                              const ClassifierFactory& factory,
-                              std::size_t threads) {
-  XFA_CHECK(!normal_data.rows.empty());
-  XFA_CHECK(!label_columns.empty());
+namespace {
+
+/// A column with a single observed value cannot be predicted *discriminatively*
+/// and (worse) trains sub-models that memorize the constant — under benign
+/// faults such columns appear routinely (e.g. frozen counters during long
+/// loss bursts), so they are skipped rather than fatal.
+bool is_constant_column(const std::vector<std::vector<int>>& rows,
+                        std::size_t column) {
+  const int first = rows.front()[column];
+  for (const auto& row : rows)
+    if (row[column] != first) return false;
+  return true;
+}
+
+}  // namespace
+
+Status CrossFeatureModel::train(const Dataset& normal_data,
+                                const std::vector<std::size_t>& label_columns,
+                                const ClassifierFactory& factory,
+                                std::size_t threads) {
+  if (normal_data.rows.empty())
+    return {StatusCode::kDegenerateData, "no training rows"};
+  if (label_columns.empty())
+    return {StatusCode::kInvalidArgument, "no label columns"};
   for (const std::size_t col : label_columns)
-    XFA_CHECK_LT(col, normal_data.columns()) << "label column out of range";
-  label_columns_ = label_columns;
+    if (col >= normal_data.columns())
+      return {StatusCode::kInvalidArgument, "label column out of range"};
+
+  std::vector<std::size_t> survivors;
+  std::vector<std::size_t> skipped;
+  survivors.reserve(label_columns.size());
+  for (const std::size_t col : label_columns) {
+    if (is_constant_column(normal_data.rows, col)) {
+      skipped.push_back(col);
+    } else {
+      survivors.push_back(col);
+    }
+  }
+  if (survivors.empty())
+    return {StatusCode::kTrainFailed,
+            "every label column is constant; no sub-model can discriminate"};
+
+  label_columns_ = std::move(survivors);
+  skipped_columns_ = std::move(skipped);
   submodels_.clear();
   submodels_.resize(label_columns_.size());
 
@@ -46,6 +81,7 @@ void CrossFeatureModel::train(const Dataset& normal_data,
     for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
     for (std::thread& t : pool) t.join();
   }
+  return Status::Ok();
 }
 
 EventScore CrossFeatureModel::score(const std::vector<int>& row) const {

@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/status.h"
 #include "features/discretize.h"
 #include "ml/dataset.h"
 #include "ml/linreg.h"
@@ -40,11 +41,24 @@ class CrossFeatureModel {
   /// (the classifiable columns of the schema — time is excluded upstream);
   /// each sub-model uses all the *other* label columns as its inputs.
   /// `threads` = 0 uses the hardware concurrency.
-  void train(const Dataset& normal_data,
-             const std::vector<std::size_t>& label_columns,
-             const ClassifierFactory& factory, std::size_t threads = 0);
+  ///
+  /// Degrades gracefully: a label column that is constant over the training
+  /// data (the typical casualty of benign network faults — e.g. a counter
+  /// that never fires under loss bursts) admits no discriminative sub-model
+  /// C_i, so it is skipped, recorded in skipped_columns(), and excluded from
+  /// every surviving sub-model's inputs; the Algorithm 2/3 averages then
+  /// renormalize over the survivors (score() divides by the survivor count).
+  /// Returns kDegenerateData/kInvalidArgument on unusable input and
+  /// kTrainFailed when no sub-model survives; the model stays untrained.
+  Status train(const Dataset& normal_data,
+               const std::vector<std::size_t>& label_columns,
+               const ClassifierFactory& factory, std::size_t threads = 0);
 
   bool trained() const { return !submodels_.empty(); }
+  /// Label columns skipped as degenerate by the last successful train().
+  const std::vector<std::size_t>& skipped_columns() const {
+    return skipped_columns_;
+  }
   std::size_t submodel_count() const { return submodels_.size(); }
   std::size_t label_column_of(std::size_t submodel) const {
     return label_columns_[submodel];
@@ -76,6 +90,7 @@ class CrossFeatureModel {
 
  private:
   std::vector<std::size_t> label_columns_;
+  std::vector<std::size_t> skipped_columns_;
   std::vector<std::unique_ptr<Classifier>> submodels_;
 };
 

@@ -1,0 +1,33 @@
+#include "common/crc64.h"
+
+#include <array>
+
+namespace xfa {
+namespace {
+
+// Reflected form of the ECMA-182 polynomial 0x42F0E1EBA9EA3693.
+constexpr std::uint64_t kPolynomial = 0xC96C5795D7870F42ULL;
+
+std::array<std::uint64_t, 256> build_table() {
+  std::array<std::uint64_t, 256> table{};
+  for (std::uint64_t byte = 0; byte < 256; ++byte) {
+    std::uint64_t crc = byte;
+    for (int bit = 0; bit < 8; ++bit)
+      crc = (crc >> 1) ^ (crc & 1 ? kPolynomial : 0);
+    table[static_cast<std::size_t>(byte)] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint64_t crc64(const void* data, std::size_t size, std::uint64_t seed) {
+  static const std::array<std::uint64_t, 256> table = build_table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t crc = ~seed;
+  for (std::size_t i = 0; i < size; ++i)
+    crc = (crc >> 8) ^ table[(crc ^ bytes[i]) & 0xff];
+  return ~crc;
+}
+
+}  // namespace xfa

@@ -1,0 +1,14 @@
+// CRC-64/XZ (ECMA-182 polynomial, reflected) — the integrity checksum for
+// on-disk artifacts such as the trace cache's XFATRC3 payload.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace xfa {
+
+/// CRC of `size` bytes starting at `data`. `seed` allows incremental use:
+/// crc64(b, n2, crc64(a, n1)) == crc64(concat(a, b), n1 + n2).
+std::uint64_t crc64(const void* data, std::size_t size, std::uint64_t seed = 0);
+
+}  // namespace xfa

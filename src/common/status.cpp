@@ -1,0 +1,29 @@
+#include "common/status.h"
+
+namespace xfa {
+
+const char* to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "kOk";
+    case StatusCode::kNotFound: return "kNotFound";
+    case StatusCode::kCorruptArtifact: return "kCorruptArtifact";
+    case StatusCode::kDegenerateData: return "kDegenerateData";
+    case StatusCode::kTrainFailed: return "kTrainFailed";
+    case StatusCode::kRetryable: return "kRetryable";
+    case StatusCode::kIoError: return "kIoError";
+    case StatusCode::kInvalidArgument: return "kInvalidArgument";
+  }
+  return "?";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return xfa::to_string(code_);
+  std::string out = xfa::to_string(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace xfa

@@ -1,0 +1,107 @@
+#include "faults/injector.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace xfa {
+
+FaultInjector::FaultInjector(Simulator& sim, const FaultPlan& plan,
+                             std::size_t node_count, NodeId monitor_node,
+                             SimTime duration)
+    : plan_(plan),
+      node_count_(node_count),
+      rng_(plan.fault_seed),
+      node_down_(node_count, 0) {
+  XFA_CHECK_GE(node_count, 2u);
+  XFA_CHECK(monitor_node >= 0 &&
+            static_cast<std::size_t>(monitor_node) < node_count);
+
+  // The three timelines are drawn in a fixed order so the stream consumed by
+  // per-delivery draws afterwards starts at a plan-determined offset.
+  if (plan_.loss_burst_rate_per_s > 0 && plan_.loss_burst_duration_s > 0 &&
+      plan_.loss_burst_loss_rate > 0) {
+    for (const SimTime start :
+         arrival_times(plan_.loss_burst_rate_per_s, duration)) {
+      ++scheduled_.bursts;
+      sim.at(start, [this] { ++active_bursts_; });
+      sim.at(start + plan_.loss_burst_duration_s,
+             [this] { --active_bursts_; });
+    }
+  }
+
+  if (plan_.link_flap_rate_per_s > 0 && plan_.link_flap_down_s > 0) {
+    for (const SimTime start :
+         arrival_times(plan_.link_flap_rate_per_s, duration)) {
+      const auto a = static_cast<NodeId>(rng_.uniform_int(node_count_));
+      auto b = static_cast<NodeId>(rng_.uniform_int(node_count_ - 1));
+      if (b >= a) ++b;
+      const std::uint64_t key = link_key(a, b);
+      ++scheduled_.flaps;
+      sim.at(start, [this, key] { ++links_down_[key]; });
+      sim.at(start + plan_.link_flap_down_s,
+             [this, key] { --links_down_[key]; });
+    }
+  }
+
+  if (plan_.node_crash_rate_per_s > 0 && plan_.node_crash_down_s > 0) {
+    for (const SimTime start :
+         arrival_times(plan_.node_crash_rate_per_s, duration)) {
+      // Uniform over every node except the monitor.
+      auto victim = static_cast<NodeId>(rng_.uniform_int(node_count_ - 1));
+      if (victim >= monitor_node) ++victim;
+      ++scheduled_.crashes;
+      sim.at(start, [this, victim] {
+        ++node_down_[static_cast<std::size_t>(victim)];
+      });
+      sim.at(start + plan_.node_crash_down_s, [this, victim] {
+        --node_down_[static_cast<std::size_t>(victim)];
+      });
+    }
+  }
+}
+
+std::vector<SimTime> FaultInjector::arrival_times(double rate,
+                                                  SimTime duration) {
+  std::vector<SimTime> times;
+  for (SimTime t = rng_.exponential(1.0 / rate); t < duration;
+       t += rng_.exponential(1.0 / rate)) {
+    times.push_back(t);
+  }
+  return times;
+}
+
+std::uint64_t FaultInjector::link_key(NodeId a, NodeId b) const {
+  const auto lo = static_cast<std::uint64_t>(std::min(a, b));
+  const auto hi = static_cast<std::uint64_t>(std::max(a, b));
+  return lo * node_count_ + hi;
+}
+
+bool FaultInjector::node_down(NodeId node) const {
+  return node_down_[static_cast<std::size_t>(node)] > 0;
+}
+
+bool FaultInjector::link_down(NodeId a, NodeId b) const {
+  if (links_down_.empty()) return false;
+  const auto it = links_down_.find(link_key(a, b));
+  return it != links_down_.end() && it->second > 0;
+}
+
+bool FaultInjector::loses_delivery() {
+  return active_bursts_ > 0 && rng_.chance(plan_.loss_burst_loss_rate);
+}
+
+bool FaultInjector::corrupts_delivery() {
+  return plan_.corruption_rate > 0 && rng_.chance(plan_.corruption_rate);
+}
+
+bool FaultInjector::duplicates_delivery() {
+  return plan_.duplication_rate > 0 && rng_.chance(plan_.duplication_rate);
+}
+
+SimTime FaultInjector::extra_delay() {
+  return plan_.reorder_jitter_s > 0 ? rng_.uniform(0, plan_.reorder_jitter_s)
+                                    : 0.0;
+}
+
+}  // namespace xfa

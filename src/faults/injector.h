@@ -1,0 +1,64 @@
+// FaultInjector: turns a FaultPlan into scheduled, deterministic chaos.
+//
+// The entire chaos timeline (burst windows, link flaps, node crash/reboot
+// cycles) is drawn from one dedicated RNG stream at construction and placed
+// on the event scheduler, so it is a pure function of (plan, node count,
+// duration) — independent of packet traffic. Per-delivery draws (corruption,
+// duplication, reorder jitter, burst losses) consume the same stream in
+// scheduler order, which the determinism tests pin down byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "faults/plan.h"
+#include "net/channel.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace xfa {
+
+class FaultInjector final : public FaultModel {
+ public:
+  /// Schedules the plan's chaos over [0, duration]. `monitor_node` is never
+  /// crashed — the monitored node must keep producing audit data (its links
+  /// still flap and its deliveries still corrupt). Install on the channel
+  /// with Channel::set_fault_model; the injector must outlive the run.
+  FaultInjector(Simulator& sim, const FaultPlan& plan, std::size_t node_count,
+                NodeId monitor_node, SimTime duration);
+
+  // FaultModel:
+  bool node_down(NodeId node) const override;
+  bool link_down(NodeId a, NodeId b) const override;
+  bool loses_delivery() override;
+  bool corrupts_delivery() override;
+  bool duplicates_delivery() override;
+  SimTime extra_delay() override;
+
+  /// Chaos volume scheduled at construction (diagnostics and tests).
+  struct ScheduledCounts {
+    std::uint64_t bursts = 0;
+    std::uint64_t flaps = 0;
+    std::uint64_t crashes = 0;
+  };
+  const ScheduledCounts& scheduled() const { return scheduled_; }
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  std::uint64_t link_key(NodeId a, NodeId b) const;
+  /// Poisson arrivals of `rate` per second over [0, duration].
+  std::vector<SimTime> arrival_times(double rate, SimTime duration);
+
+  FaultPlan plan_;
+  std::size_t node_count_;
+  Rng rng_;
+  // Counters rather than booleans: independent fault episodes may overlap.
+  std::vector<int> node_down_;
+  std::unordered_map<std::uint64_t, int> links_down_;
+  int active_bursts_ = 0;
+  ScheduledCounts scheduled_;
+};
+
+}  // namespace xfa

@@ -1,0 +1,55 @@
+#include "faults/plan.h"
+
+#include <sstream>
+
+namespace xfa {
+namespace {
+
+void append_number(std::string& key, double value) {
+  std::ostringstream os;
+  os.precision(12);
+  os << value << ';';
+  key += os.str();
+}
+
+}  // namespace
+
+bool FaultPlan::enabled() const {
+  return corruption_rate > 0 || duplication_rate > 0 || reorder_jitter_s > 0 ||
+         (loss_burst_rate_per_s > 0 && loss_burst_duration_s > 0 &&
+          loss_burst_loss_rate > 0) ||
+         (link_flap_rate_per_s > 0 && link_flap_down_s > 0) ||
+         (node_crash_rate_per_s > 0 && node_crash_down_s > 0);
+}
+
+void FaultPlan::append_key(std::string& key) const {
+  key += "faults:";
+  append_number(key, corruption_rate);
+  append_number(key, duplication_rate);
+  append_number(key, reorder_jitter_s);
+  append_number(key, loss_burst_rate_per_s);
+  append_number(key, loss_burst_duration_s);
+  append_number(key, loss_burst_loss_rate);
+  append_number(key, link_flap_rate_per_s);
+  append_number(key, link_flap_down_s);
+  append_number(key, node_crash_rate_per_s);
+  append_number(key, node_crash_down_s);
+  append_number(key, static_cast<double>(fault_seed));
+}
+
+FaultPlan benign_chaos(double intensity) {
+  FaultPlan plan;
+  plan.corruption_rate = 0.02 * intensity;
+  plan.duplication_rate = 0.02 * intensity;
+  plan.reorder_jitter_s = 0.002 * intensity;
+  plan.loss_burst_rate_per_s = 0.01 * intensity;  // a burst every ~100 s
+  plan.loss_burst_duration_s = 5;
+  plan.loss_burst_loss_rate = 0.5;
+  plan.link_flap_rate_per_s = 0.02 * intensity;
+  plan.link_flap_down_s = 10;
+  plan.node_crash_rate_per_s = 0.002 * intensity;  // a crash every ~500 s
+  plan.node_crash_down_s = 20;
+  return plan;
+}
+
+}  // namespace xfa

@@ -1,0 +1,72 @@
+// Benign-fault plan: the knobs describing *non-malicious* network chaos —
+// mobility-era MANETs lose, corrupt, duplicate and reorder frames, links
+// flap, and nodes crash and reboot, all without any intruder present.
+//
+// The paper's core claim is that cross-feature analysis separates attacks
+// from exactly this normal-but-messy behaviour, so the simulator must be
+// able to produce it on demand. A FaultPlan rides on ScenarioConfig; the
+// scenario runner turns an enabled plan into a FaultInjector whose entire
+// chaos timeline is drawn from a dedicated seeded RNG stream and scheduled
+// on the event scheduler — same seed + same plan => byte-identical traces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.h"
+
+namespace xfa {
+
+struct FaultPlan {
+  // --- Per-delivery frame faults (applied by the channel) ----------------
+  /// Probability a delivered frame arrives corrupted; the receiver's CRC
+  /// rejects it, so it behaves like a loss the sender may notice via a
+  /// missing ACK.
+  double corruption_rate = 0;
+  /// Probability a delivered data frame is duplicated (MAC retransmission
+  /// whose ACK was lost).
+  double duplication_rate = 0;
+  /// Extra uniform per-delivery delay in [0, reorder_jitter_s): deep
+  /// interface queues and retries, which also reorder same-source frames.
+  double reorder_jitter_s = 0;
+
+  // --- Loss bursts (interference episodes, all links) --------------------
+  /// Mean burst arrivals per second (Poisson); 0 disables bursts.
+  double loss_burst_rate_per_s = 0;
+  /// Length of one burst, seconds.
+  SimTime loss_burst_duration_s = 0;
+  /// Extra independent per-receiver loss probability while a burst is on.
+  double loss_burst_loss_rate = 0.8;
+
+  // --- Link flapping (obstruction/fading on one pair) ---------------------
+  /// Mean flap arrivals per second (Poisson); each flap takes one random
+  /// node pair down in both directions.
+  double link_flap_rate_per_s = 0;
+  /// How long a flapped link stays down, seconds.
+  SimTime link_flap_down_s = 0;
+
+  // --- Node churn (crash/reboot) ------------------------------------------
+  /// Mean crash arrivals per second (Poisson); each crash silences one
+  /// random node (never the monitored node — the trace must keep flowing).
+  double node_crash_rate_per_s = 0;
+  /// How long a crashed node stays down before rebooting, seconds.
+  SimTime node_crash_down_s = 0;
+
+  /// Seed of the dedicated fault stream. Part of the cache key: two plans
+  /// differing only in seed are different scenarios.
+  std::uint64_t fault_seed = 1337;
+
+  /// True when any fault mechanism can fire.
+  bool enabled() const;
+
+  /// Appends the canonical key fragment (only called for enabled plans, so
+  /// fault-free configs keep their pre-fault cache keys).
+  void append_key(std::string& key) const;
+};
+
+/// Canonical benign-chaos preset used by tests and the robustness workload
+/// axis: every mechanism on, scaled by `intensity` (1.0 = moderate chaos a
+/// healthy detector should tolerate without raising its false-alarm rate).
+FaultPlan benign_chaos(double intensity = 1.0);
+
+}  // namespace xfa

@@ -44,6 +44,12 @@ void Channel::transmit(NodeId from, Packet pkt, NodeId to) {
   // zero-TTL or zero-size packet on the channel is a protocol bug.
   XFA_CHECK_GT(pkt.ttl, 0) << pkt.describe();
   XFA_CHECK_GT(pkt.size_bytes, 0u) << pkt.describe();
+  // A crashed sender's pending transmits (timers firing mid-crash) radiate
+  // nothing; receivers see the usual symptom, silence.
+  if (faults_ != nullptr && faults_->node_down(from)) {
+    ++stats_.fault_suppressed_tx;
+    return;
+  }
   ++stats_.transmissions;
   if (pkt.uid == 0) pkt.uid = next_uid();
 
@@ -55,19 +61,48 @@ void Channel::transmit(NodeId from, Packet pkt, NodeId to) {
   for (Node* receiver : nodes_) {
     const NodeId rid = receiver->id();
     if (rid == from || !in_range(from, rid)) continue;
+    if (faults_ != nullptr &&
+        (faults_->node_down(rid) || faults_->link_down(from, rid))) {
+      ++stats_.fault_link_drops;
+      continue;
+    }
     if (config_.loss_rate > 0 && rng_.chance(config_.loss_rate)) {
       ++stats_.random_losses;
       continue;
     }
+    SimTime rx_delay = delay;
+    if (faults_ != nullptr) {
+      if (faults_->loses_delivery()) {
+        ++stats_.fault_burst_losses;
+        continue;
+      }
+      // A corrupted frame fails the receiver CRC: dropped on arrival, and a
+      // corrupted unicast leaves unicast_delivered false so the sender gets
+      // the same missing-ACK feedback as any other loss.
+      if (faults_->corrupts_delivery()) {
+        ++stats_.fault_corrupted;
+        continue;
+      }
+      rx_delay += faults_->extra_delay();
+    }
     if (to == kBroadcast || rid == to) {
       if (rid == to) unicast_delivered = true;
       ++stats_.deliveries;
-      sim_.after(delay, [receiver, pkt, from] {
+      sim_.after(rx_delay, [receiver, pkt, from] {
         receiver->deliver(pkt, from);
       });
+      // MAC retransmission whose ACK was lost: the receiver sees the frame
+      // twice, slightly reordered against other traffic.
+      if (faults_ != nullptr && faults_->duplicates_delivery()) {
+        ++stats_.fault_duplicates;
+        ++stats_.deliveries;
+        sim_.after(rx_delay + faults_->extra_delay(), [receiver, pkt, from] {
+          receiver->deliver(pkt, from);
+        });
+      }
     } else if (config_.promiscuous_taps) {
       ++stats_.taps;
-      sim_.after(delay, [receiver, pkt, from, to] {
+      sim_.after(rx_delay, [receiver, pkt, from, to] {
         receiver->overhear(pkt, from, to);
       });
     }

@@ -18,6 +18,29 @@ namespace xfa {
 
 class Node;
 
+/// Benign-fault hooks the channel consults while transmitting. Implemented
+/// by faults/FaultInjector; null means a fault-free medium. The `const`
+/// queries read scheduled chaos state (bursts, flaps, crashes); the non-const
+/// ones draw from the dedicated fault RNG stream and therefore must be called
+/// exactly once per delivery decision to keep traces seed-deterministic.
+class FaultModel {
+ public:
+  virtual ~FaultModel() = default;
+
+  /// Node is crashed: it neither transmits nor receives.
+  virtual bool node_down(NodeId node) const = 0;
+  /// Link between `a` and `b` is flapped down (symmetric).
+  virtual bool link_down(NodeId a, NodeId b) const = 0;
+  /// Draw: the delivery is lost to an interference burst.
+  virtual bool loses_delivery() = 0;
+  /// Draw: the frame arrives corrupted and the receiver's CRC rejects it.
+  virtual bool corrupts_delivery() = 0;
+  /// Draw: the delivered frame is duplicated at the receiver.
+  virtual bool duplicates_delivery() = 0;
+  /// Draw: extra queueing/retry delay added to this delivery.
+  virtual SimTime extra_delay() = 0;
+};
+
 struct ChannelConfig {
   double range_m = 250.0;        // ns-2 default 914MHz WaveLAN range
   double bandwidth_bps = 2e6;    // 2 Mb/s, the classic 802.11 WaveLAN rate
@@ -36,6 +59,12 @@ struct ChannelStats {
   std::uint64_t taps = 0;              // promiscuous overhears delivered
   std::uint64_t random_losses = 0;     // receiver lost packet to loss_rate
   std::uint64_t unicast_failures = 0;  // unicast target out of range / lost
+  // Benign-fault activity (all zero without an installed FaultModel).
+  std::uint64_t fault_suppressed_tx = 0;  // sender was crashed
+  std::uint64_t fault_link_drops = 0;     // receiver crashed / link flapped
+  std::uint64_t fault_burst_losses = 0;   // lost to an interference burst
+  std::uint64_t fault_corrupted = 0;      // CRC-rejected at the receiver
+  std::uint64_t fault_duplicates = 0;     // duplicate deliveries generated
 };
 
 class Channel {
@@ -63,6 +92,10 @@ class Channel {
   /// Assigns a fresh uid to a packet being originated.
   std::uint64_t next_uid() { return ++last_uid_; }
 
+  /// Installs (or clears, with nullptr) the benign-fault hooks. The model
+  /// must outlive the channel's last transmit.
+  void set_fault_model(FaultModel* faults) { faults_ = faults; }
+
  private:
   SimTime transmission_delay(const Packet& pkt) const;
 
@@ -73,6 +106,7 @@ class Channel {
   std::vector<Node*> nodes_;
   ChannelStats stats_;
   std::uint64_t last_uid_ = 0;
+  FaultModel* faults_ = nullptr;
 };
 
 }  // namespace xfa

@@ -1,15 +1,24 @@
 #include "scenario/cache.h"
 
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <vector>
 
+#include "common/crc64.h"
+
 namespace xfa {
 namespace {
 
-constexpr char kMagic[] = "XFATRC2";
+// Format (XFATRC3): magic, payload size, CRC64 of the payload, payload.
+// The payload holds key, times, rows and summary; every count inside it is
+// validated against the actual payload size before any allocation.
+constexpr char kMagic[] = "XFATRC3";
+constexpr std::size_t kMagicSize = sizeof(kMagic) - 1;
+constexpr std::size_t kHeaderSize = kMagicSize + 2 * sizeof(std::uint64_t);
 
 std::uint64_t fnv1a(const std::string& s) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
@@ -21,29 +30,115 @@ std::uint64_t fnv1a(const std::string& s) {
 }
 
 template <typename T>
-void write_pod(std::ostream& os, const T& value) {
-  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+void append_pod(std::string& buffer, const T& value) {
+  buffer.append(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 
-template <typename T>
-bool read_pod(std::istream& is, T& value) {
-  is.read(reinterpret_cast<char*>(&value), sizeof(T));
-  return static_cast<bool>(is);
+void append_doubles(std::string& buffer, const std::vector<double>& values) {
+  append_pod(buffer, static_cast<std::uint64_t>(values.size()));
+  if (!values.empty())
+    buffer.append(reinterpret_cast<const char*>(values.data()),
+                  values.size() * sizeof(double));
 }
 
-void write_doubles(std::ostream& os, const std::vector<double>& values) {
-  write_pod(os, static_cast<std::uint64_t>(values.size()));
-  os.write(reinterpret_cast<const char*>(values.data()),
-           static_cast<std::streamsize>(values.size() * sizeof(double)));
+/// Bounds-checked cursor over the in-memory payload. Every read fails soft
+/// when the remaining bytes cannot satisfy it, so hostile counts never drive
+/// an allocation or an out-of-bounds read.
+class PayloadReader {
+ public:
+  explicit PayloadReader(const std::string& buffer) : buffer_(buffer) {}
+
+  std::size_t remaining() const { return buffer_.size() - pos_; }
+
+  bool read_bytes(void* out, std::size_t size) {
+    if (size > remaining()) return false;
+    // `out` may be a null vector::data() when size == 0; memcpy forbids it.
+    if (size != 0) std::memcpy(out, buffer_.data() + pos_, size);
+    pos_ += size;
+    return true;
+  }
+
+  template <typename T>
+  bool read_pod(T& value) {
+    return read_bytes(&value, sizeof(T));
+  }
+
+  bool read_string(std::string& out) {
+    std::uint64_t size = 0;
+    if (!read_pod(size) || size > remaining()) return false;
+    out.assign(buffer_.data() + pos_, static_cast<std::size_t>(size));
+    pos_ += static_cast<std::size_t>(size);
+    return true;
+  }
+
+  bool read_doubles(std::vector<double>& out) {
+    std::uint64_t count = 0;
+    if (!read_pod(count)) return false;
+    if (count > remaining() / sizeof(double)) return false;
+    out.resize(static_cast<std::size_t>(count));
+    return read_bytes(out.data(),
+                      static_cast<std::size_t>(count) * sizeof(double));
+  }
+
+ private:
+  const std::string& buffer_;
+  std::size_t pos_ = 0;
+};
+
+/// Moves a failed artifact aside so the next run regenerates it while the
+/// bad bytes stay available for post-mortems. Never throws; if even removal
+/// fails we still report corruption — the caller regenerates and store()'s
+/// atomic rename will overwrite the bad file.
+void quarantine(const std::string& path) {
+  const std::string corrupt = path + ".corrupt";
+  std::error_code ec;
+  std::filesystem::remove(corrupt, ec);
+  std::filesystem::rename(path, corrupt, ec);
+  if (ec) std::filesystem::remove(path, ec);
 }
 
-bool read_doubles(std::istream& is, std::vector<double>& values) {
-  std::uint64_t count = 0;
-  if (!read_pod(is, count)) return false;
-  values.resize(count);
-  is.read(reinterpret_cast<char*>(values.data()),
-          static_cast<std::streamsize>(count * sizeof(double)));
-  return static_cast<bool>(is);
+Status corrupt_artifact(const std::string& path, const std::string& what) {
+  quarantine(path);
+  return {StatusCode::kCorruptArtifact,
+          path + ": " + what + " (quarantined to " + path + ".corrupt)"};
+}
+
+bool parse_payload(const std::string& payload, const std::string& key,
+                   bool& key_mismatch, ScenarioResult& result) {
+  PayloadReader reader(payload);
+  std::string stored_key;
+  if (!reader.read_string(stored_key)) return false;
+  if (stored_key != key) {  // fnv1a hash collision: valid file, other key
+    key_mismatch = true;
+    return false;
+  }
+  if (!reader.read_doubles(result.trace.times)) return false;
+  std::uint64_t rows = 0, columns = 0;
+  if (!reader.read_pod(rows) || !reader.read_pod(columns)) return false;
+  // Each row carries columns*8 bytes; empty rows still must not exceed the
+  // payload itself, bounding resize() under any hostile count.
+  if (columns > reader.remaining() / sizeof(double)) return false;
+  if (columns == 0 ? rows > reader.remaining()
+                   : rows > reader.remaining() / (columns * sizeof(double)))
+    return false;
+  result.trace.rows.resize(static_cast<std::size_t>(rows));
+  for (auto& row : result.trace.rows) {
+    row.resize(static_cast<std::size_t>(columns));
+    if (!reader.read_bytes(row.data(),
+                           static_cast<std::size_t>(columns) * sizeof(double)))
+      return false;
+  }
+  ScenarioSummary& summary = result.summary;
+  if (!reader.read_pod(summary.data_originated) ||
+      !reader.read_pod(summary.data_delivered) ||
+      !reader.read_pod(summary.packet_delivery_ratio) ||
+      !reader.read_pod(summary.scheduler_events) ||
+      !reader.read_pod(summary.channel) ||
+      !reader.read_pod(summary.monitor_routing) ||
+      !reader.read_pod(summary.monitor_audit_packets) ||
+      !reader.read_pod(summary.monitor_audit_route_events))
+    return false;
+  return reader.remaining() == 0;  // trailing bytes => damaged artifact
 }
 
 }  // namespace
@@ -60,84 +155,118 @@ TraceCache::TraceCache(std::string directory) : directory_(std::move(directory))
   }
 }
 
-std::string TraceCache::path_for(const std::string& key) const {
+std::string TraceCache::artifact_path(const std::string& key) const {
   char name[32];
   std::snprintf(name, sizeof(name), "%016llx.trc",
                 static_cast<unsigned long long>(fnv1a(key)));
   return directory_ + "/" + name;
 }
 
-std::optional<ScenarioResult> TraceCache::load(const std::string& key) const {
-  if (!enabled_) return std::nullopt;
-  std::ifstream is(path_for(key), std::ios::binary);
-  if (!is) return std::nullopt;
+Result<ScenarioResult> TraceCache::load(const std::string& key) const {
+  if (!enabled_) return Status{StatusCode::kNotFound, "cache disabled"};
+  const std::string path = artifact_path(key);
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status{StatusCode::kNotFound, path};
 
-  char magic[sizeof(kMagic)] = {};
-  is.read(magic, sizeof(kMagic) - 1);
-  if (!is || std::string_view(magic) != kMagic) return std::nullopt;
+  char header[kHeaderSize] = {};
+  is.read(header, static_cast<std::streamsize>(kHeaderSize));
+  if (!is || std::memcmp(header, kMagic, kMagicSize) != 0)
+    return corrupt_artifact(path, "bad or truncated header");
 
-  std::uint64_t key_size = 0;
-  if (!read_pod(is, key_size)) return std::nullopt;
-  std::string stored_key(key_size, '\0');
-  is.read(stored_key.data(), static_cast<std::streamsize>(key_size));
-  if (!is || stored_key != key) return std::nullopt;  // hash collision
+  // Old format revisions (XFATRC2) fail the magic check above and heal the
+  // same way every other invalid file does: quarantine + regenerate.
+  std::uint64_t payload_size = 0, stored_crc = 0;
+  std::memcpy(&payload_size, header + kMagicSize, sizeof(payload_size));
+  std::memcpy(&stored_crc, header + kMagicSize + sizeof(payload_size),
+              sizeof(stored_crc));
+
+  // The declared size must match the bytes actually present, which both
+  // rejects truncation and caps the read at the real file size — a hostile
+  // length field never drives the allocation.
+  std::error_code ec;
+  const std::uintmax_t file_size = std::filesystem::file_size(path, ec);
+  if (ec) return Status{StatusCode::kIoError, path + ": " + ec.message()};
+  if (file_size < kHeaderSize ||
+      payload_size != file_size - kHeaderSize)
+    return corrupt_artifact(path, "payload size disagrees with file size");
+
+  std::string payload(static_cast<std::size_t>(payload_size), '\0');
+  is.read(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (!is) return corrupt_artifact(path, "short payload read");
+
+  if (crc64(payload.data(), payload.size()) != stored_crc)
+    return corrupt_artifact(path, "payload checksum mismatch");
 
   ScenarioResult result;
-  if (!read_doubles(is, result.trace.times)) return std::nullopt;
-  std::uint64_t rows = 0, columns = 0;
-  if (!read_pod(is, rows) || !read_pod(is, columns)) return std::nullopt;
-  result.trace.rows.resize(rows);
-  for (auto& row : result.trace.rows) {
-    row.resize(columns);
-    is.read(reinterpret_cast<char*>(row.data()),
-            static_cast<std::streamsize>(columns * sizeof(double)));
-    if (!is) return std::nullopt;
+  bool key_mismatch = false;
+  if (!parse_payload(payload, key, key_mismatch, result)) {
+    if (key_mismatch)  // healthy artifact for a colliding key; leave it be
+      return Status{StatusCode::kNotFound, path + ": key collision"};
+    return corrupt_artifact(path, "malformed payload");
   }
-  ScenarioSummary& summary = result.summary;
-  if (!read_pod(is, summary.data_originated) ||
-      !read_pod(is, summary.data_delivered) ||
-      !read_pod(is, summary.packet_delivery_ratio) ||
-      !read_pod(is, summary.scheduler_events) ||
-      !read_pod(is, summary.channel) ||
-      !read_pod(is, summary.monitor_routing) ||
-      !read_pod(is, summary.monitor_audit_packets) ||
-      !read_pod(is, summary.monitor_audit_route_events))
-    return std::nullopt;
   return result;
 }
 
-void TraceCache::store(const std::string& key,
-                       const ScenarioResult& result) const {
-  if (!enabled_) return;
+Status TraceCache::store(const std::string& key,
+                         const ScenarioResult& result) const {
+  if (!enabled_) return Status::Ok();
+
+  const std::uint64_t columns =
+      result.trace.rows.empty() ? 0 : result.trace.rows.front().size();
+  for (const auto& row : result.trace.rows)
+    if (row.size() != columns)
+      return {StatusCode::kInvalidArgument, "ragged trace rows"};
+
+  std::string payload;
+  append_pod(payload, static_cast<std::uint64_t>(key.size()));
+  payload += key;
+  append_doubles(payload, result.trace.times);
+  append_pod(payload, static_cast<std::uint64_t>(result.trace.rows.size()));
+  append_pod(payload, columns);
+  for (const auto& row : result.trace.rows)
+    if (columns != 0)
+      payload.append(reinterpret_cast<const char*>(row.data()),
+                     static_cast<std::size_t>(columns) * sizeof(double));
+  const ScenarioSummary& summary = result.summary;
+  append_pod(payload, summary.data_originated);
+  append_pod(payload, summary.data_delivered);
+  append_pod(payload, summary.packet_delivery_ratio);
+  append_pod(payload, summary.scheduler_events);
+  append_pod(payload, summary.channel);
+  append_pod(payload, summary.monitor_routing);
+  append_pod(payload, summary.monitor_audit_packets);
+  append_pod(payload, summary.monitor_audit_route_events);
+
   std::error_code ec;
   std::filesystem::create_directories(directory_, ec);
-  const std::string path = path_for(key);
+  if (ec && !std::filesystem::is_directory(directory_))
+    return {StatusCode::kIoError, directory_ + ": " + ec.message()};
+  const std::string path = artifact_path(key);
   const std::string tmp = path + ".tmp";
   {
     std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-    if (!os) return;
-    os.write(kMagic, sizeof(kMagic) - 1);
-    write_pod(os, static_cast<std::uint64_t>(key.size()));
-    os.write(key.data(), static_cast<std::streamsize>(key.size()));
-    write_doubles(os, result.trace.times);
-    write_pod(os, static_cast<std::uint64_t>(result.trace.rows.size()));
-    const std::uint64_t columns =
-        result.trace.rows.empty() ? 0 : result.trace.rows.front().size();
-    write_pod(os, columns);
-    for (const auto& row : result.trace.rows)
-      os.write(reinterpret_cast<const char*>(row.data()),
-               static_cast<std::streamsize>(columns * sizeof(double)));
-    const ScenarioSummary& summary = result.summary;
-    write_pod(os, summary.data_originated);
-    write_pod(os, summary.data_delivered);
-    write_pod(os, summary.packet_delivery_ratio);
-    write_pod(os, summary.scheduler_events);
-    write_pod(os, summary.channel);
-    write_pod(os, summary.monitor_routing);
-    write_pod(os, summary.monitor_audit_packets);
-    write_pod(os, summary.monitor_audit_route_events);
+    if (!os) return {StatusCode::kIoError, tmp + ": cannot open"};
+    os.write(kMagic, static_cast<std::streamsize>(kMagicSize));
+    const auto payload_size = static_cast<std::uint64_t>(payload.size());
+    os.write(reinterpret_cast<const char*>(&payload_size),
+             sizeof(payload_size));
+    const std::uint64_t crc = crc64(payload.data(), payload.size());
+    os.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    os.close();
+    // A partially-written artifact must never be published: on any stream
+    // failure drop the temp file instead of renaming it into place.
+    if (!os) {
+      std::filesystem::remove(tmp, ec);
+      return {StatusCode::kIoError, tmp + ": write failed"};
+    }
   }
   std::filesystem::rename(tmp, path, ec);  // atomic publish
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return {StatusCode::kIoError, path + ": rename failed"};
+  }
+  return Status::Ok();
 }
 
 }  // namespace xfa

@@ -1,11 +1,18 @@
 // On-disk trace cache: a 10^4-second simulation takes seconds, and every
 // bench binary wants the same traces, so runs are persisted keyed on the
 // scenario's canonical config string.
+//
+// The store is self-healing. Artifacts use the XFATRC3 format — a CRC64
+// checksum covers the whole payload and every length field is validated
+// against the file size before any allocation, so no on-disk bytes (truncated,
+// bit-flipped, or hostile) can crash or abort the process. A file that fails
+// validation is quarantined to `<name>.trc.corrupt` and load() reports
+// kCorruptArtifact; the scenario runner then transparently regenerates it.
 #pragma once
 
-#include <optional>
 #include <string>
 
+#include "common/status.h"
 #include "scenario/runner.h"
 
 namespace xfa {
@@ -18,14 +25,25 @@ class TraceCache {
   /// Disabled caches load nothing and store nothing (XFA_NO_CACHE=1).
   bool enabled() const { return enabled_; }
 
-  std::optional<ScenarioResult> load(const std::string& key) const;
-  void store(const std::string& key, const ScenarioResult& result) const;
+  /// Loads the artifact for `key`. Failure statuses:
+  ///   kNotFound         miss (no file, cache disabled, or a hash-collision
+  ///                     file holding a different key — left untouched);
+  ///   kCorruptArtifact  the file failed validation and was quarantined to
+  ///                     `<path>.corrupt`.
+  Result<ScenarioResult> load(const std::string& key) const;
+
+  /// Atomically publishes the artifact for `key`: the payload is serialized
+  /// and checksummed in memory, written to a temp file whose stream state is
+  /// verified after every write, then renamed into place. On failure the
+  /// temp file is deleted and nothing is published (kIoError).
+  Status store(const std::string& key, const ScenarioResult& result) const;
 
   const std::string& directory() const { return directory_; }
 
- private:
-  std::string path_for(const std::string& key) const;
+  /// On-disk path an artifact for `key` would use (tests, tooling).
+  std::string artifact_path(const std::string& key) const;
 
+ private:
   std::string directory_;
   bool enabled_ = true;
 };

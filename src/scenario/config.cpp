@@ -110,6 +110,9 @@ std::string ScenarioConfig::cache_key() const {
   append_number(key, static_cast<double>(traffic.packet_bytes));
   append_number(key, traffic.start_window);
   for (const AttackSpec& attack : attacks) attack.append_key(key);
+  // Keyed only when enabled, so fault-free configs keep their existing
+  // cached traces.
+  if (faults.enabled()) faults.append_key(key);
   return key;
 }
 

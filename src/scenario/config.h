@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "attacks/onoff.h"
+#include "faults/plan.h"
 #include "mobility/waypoint.h"
 #include "net/channel.h"
 #include "transport/traffic.h"
@@ -79,7 +80,12 @@ struct ScenarioConfig {
 
   std::vector<AttackSpec> attacks;
 
+  /// Benign network chaos injected alongside (or without) attacks; disabled
+  /// by default. See faults/plan.h.
+  FaultPlan faults;
+
   bool has_attacks() const { return !attacks.empty(); }
+  bool has_faults() const { return faults.enabled(); }
 
   /// Canonical key covering every behaviour-relevant field; identical keys
   /// imply identical traces.

@@ -41,8 +41,9 @@ ExperimentOptions paper_single_attack_options(AttackKind kind) {
   return options;
 }
 
-ExperimentData gather_experiment(RoutingKind routing, TransportKind transport,
-                                 const ExperimentOptions& raw_options) {
+Result<ExperimentData> gather_experiment_checked(
+    RoutingKind routing, TransportKind transport,
+    const ExperimentOptions& raw_options) {
   const ExperimentOptions options =
       (raw_options.fast || fast_mode_enabled()) ? scaled(raw_options)
                                                 : raw_options;
@@ -59,28 +60,38 @@ ExperimentData gather_experiment(RoutingKind routing, TransportKind transport,
   {
     ScenarioConfig config = base;
     config.seed = options.base_seed;
-    ScenarioResult result = run_scenario(config, options.label_policy);
-    data.train_normal = std::move(result.trace);
-    data.summaries.push_back(result.summary);
+    auto result = run_scenario_checked(config, options.label_policy);
+    if (!result.ok()) return result.status();
+    data.train_normal = std::move(result.value().trace);
+    data.summaries.push_back(result.value().summary);
   }
   // Normal evaluation traces.
   for (std::size_t i = 0; i < options.normal_eval_traces; ++i) {
     ScenarioConfig config = base;
     config.seed = options.base_seed + 1 + i;
-    ScenarioResult result = run_scenario(config, options.label_policy);
-    data.normal_eval.push_back(std::move(result.trace));
-    data.summaries.push_back(result.summary);
+    auto result = run_scenario_checked(config, options.label_policy);
+    if (!result.ok()) return result.status();
+    data.normal_eval.push_back(std::move(result.value().trace));
+    data.summaries.push_back(result.value().summary);
   }
   // Attack traces.
   for (std::size_t i = 0; i < options.abnormal_traces; ++i) {
     ScenarioConfig config = base;
     config.seed = options.base_seed + 100 + i;
     config.attacks = options.attacks;
-    ScenarioResult result = run_scenario(config, options.label_policy);
-    data.abnormal.push_back(std::move(result.trace));
-    data.summaries.push_back(result.summary);
+    auto result = run_scenario_checked(config, options.label_policy);
+    if (!result.ok()) return result.status();
+    data.abnormal.push_back(std::move(result.value().trace));
+    data.summaries.push_back(result.value().summary);
   }
   return data;
+}
+
+ExperimentData gather_experiment(RoutingKind routing, TransportKind transport,
+                                 const ExperimentOptions& options) {
+  auto data = gather_experiment_checked(routing, transport, options);
+  XFA_CHECK(data.ok()) << data.status().to_string();
+  return std::move(data.value());
 }
 
 Dataset to_dataset(const DiscreteTrace& trace, const FeatureSchema* schema) {
@@ -104,11 +115,12 @@ std::vector<EventScore> Detector::score_trace(const RawTrace& trace) const {
   return model.score_all(discrete.rows);
 }
 
-Detector train_detector(const RawTrace& train_normal,
-                        const ClassifierFactory& factory,
-                        const DetectorOptions& options,
-                        const RawTrace* threshold_normal) {
-  XFA_CHECK(!train_normal.rows.empty());
+Result<Detector> train_detector_checked(const RawTrace& train_normal,
+                                        const ClassifierFactory& factory,
+                                        const DetectorOptions& options,
+                                        const RawTrace* threshold_normal) {
+  if (train_normal.rows.empty())
+    return Status{StatusCode::kDegenerateData, "empty training trace"};
   Detector detector;
   detector.discretizer =
       EqualFrequencyDiscretizer(options.buckets, options.min_relative_gap);
@@ -134,7 +146,9 @@ Detector train_detector(const RawTrace& train_normal,
     }
   }
 
-  detector.model.train(dataset, label_columns, factory, options.threads);
+  const Status trained =
+      detector.model.train(dataset, label_columns, factory, options.threads);
+  if (!trained.ok()) return trained;
 
   const std::vector<EventScore> calibration_scores =
       threshold_normal != nullptr
@@ -147,6 +161,16 @@ Detector train_detector(const RawTrace& train_normal,
       select_threshold(project(calibration_scores, ScoreKind::Probability),
                        options.false_alarm_rate);
   return detector;
+}
+
+Detector train_detector(const RawTrace& train_normal,
+                        const ClassifierFactory& factory,
+                        const DetectorOptions& options,
+                        const RawTrace* threshold_normal) {
+  auto detector =
+      train_detector_checked(train_normal, factory, options, threshold_normal);
+  XFA_CHECK(detector.ok()) << detector.status().to_string();
+  return std::move(detector.value());
 }
 
 ClassifierFactory make_c45_factory() {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cfa/model.h"
+#include "common/status.h"
 #include "cfa/threshold.h"
 #include "features/discretize.h"
 #include "features/schema.h"
@@ -56,7 +57,14 @@ struct ExperimentData {
   std::vector<ScenarioSummary> summaries;  // train, then eval, then abnormal
 };
 
-/// Simulates (or loads) the full trace inventory for one scenario.
+/// Simulates (or loads) the full trace inventory for one scenario,
+/// propagating any scenario failure (after the runner's bounded retries)
+/// instead of aborting.
+Result<ExperimentData> gather_experiment_checked(
+    RoutingKind routing, TransportKind transport,
+    const ExperimentOptions& options);
+
+/// Abort-on-failure wrapper over gather_experiment_checked.
 ExperimentData gather_experiment(RoutingKind routing, TransportKind transport,
                                  const ExperimentOptions& options);
 
@@ -92,6 +100,17 @@ struct DetectorOptions {
 /// scores on `threshold_normal` when given (a held-out normal trace — the
 /// paper's "computing [score] values on all normal events"), otherwise of
 /// the in-sample training scores.
+///
+/// Degrades gracefully with the cross-feature model: degenerate feature
+/// columns are skipped (detector.model.skipped_columns()) and the ensemble
+/// renormalizes over the survivors; an unusable training trace surfaces as
+/// kDegenerateData / kTrainFailed instead of aborting.
+Result<Detector> train_detector_checked(
+    const RawTrace& train_normal, const ClassifierFactory& factory,
+    const DetectorOptions& options = {},
+    const RawTrace* threshold_normal = nullptr);
+
+/// Abort-on-failure wrapper over train_detector_checked.
 Detector train_detector(const RawTrace& train_normal,
                         const ClassifierFactory& factory,
                         const DetectorOptions& options = {},

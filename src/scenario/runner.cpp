@@ -1,6 +1,8 @@
 #include "scenario/runner.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
 #include <memory>
 #include <vector>
 
@@ -9,6 +11,7 @@
 #include "attacks/dropper.h"
 #include "attacks/storm.h"
 #include "common/check.h"
+#include "faults/injector.h"
 #include "net/node.h"
 #include "routing/aodv/aodv.h"
 #include "routing/dsr/dsr.h"
@@ -46,6 +49,18 @@ ScenarioResult simulate(const ScenarioConfig& config) {
   // AODV never consumes promiscuous taps; skip generating them.
   channel_config.promiscuous_taps = config.routing == RoutingKind::Dsr;
   Channel channel(sim, mobility, channel_config);
+
+  // Benign chaos, scheduled before any traffic exists so the fault timeline
+  // is a pure function of the plan. Disabled plans leave the channel (and
+  // every RNG stream) exactly as a pre-fault build had them.
+  std::unique_ptr<FaultInjector> injector;
+  if (config.has_faults()) {
+    injector = std::make_unique<FaultInjector>(sim, config.faults,
+                                               config.node_count,
+                                               config.monitor_node,
+                                               config.duration);
+    channel.set_fault_model(injector.get());
+  }
 
   std::vector<std::unique_ptr<Node>> nodes;
   nodes.reserve(config.node_count);
@@ -211,19 +226,90 @@ void apply_labels(RawTrace& trace, const ScenarioConfig& config,
   }
 }
 
-ScenarioResult run_scenario(const ScenarioConfig& config, LabelPolicy policy) {
+Status validate_scenario_result(const ScenarioResult& result) {
+  if (result.trace.rows.empty())
+    return {StatusCode::kDegenerateData, "trace has no samples"};
+  if (result.trace.times.size() != result.trace.rows.size())
+    return {StatusCode::kDegenerateData, "times/rows length mismatch"};
+  const std::size_t width = result.trace.rows.front().size();
+  if (width == 0) return {StatusCode::kDegenerateData, "zero-width rows"};
+  for (const auto& row : result.trace.rows) {
+    if (row.size() != width)
+      return {StatusCode::kDegenerateData, "ragged trace rows"};
+    for (const double value : row)
+      if (!std::isfinite(value))
+        return {StatusCode::kDegenerateData, "non-finite feature value"};
+  }
+  if (result.summary.monitor_audit_packets == 0)
+    return {StatusCode::kDegenerateData, "monitor node observed no packets"};
+  return Status::Ok();
+}
+
+namespace {
+
+/// SplitMix64-style mix so retry seeds land in unrelated streams while
+/// staying a pure function of (seed, attempt).
+std::uint64_t derive_retry_seed(std::uint64_t seed, int attempt) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL *
+                               static_cast<std::uint64_t>(attempt);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+int max_scenario_retries() {
+  if (const char* env = std::getenv("XFA_SCENARIO_RETRIES");
+      env != nullptr && env[0] != '\0') {
+    const int parsed = std::atoi(env);
+    if (parsed >= 0) return parsed;
+  }
+  return 2;
+}
+
+}  // namespace
+
+Result<ScenarioResult> run_scenario_checked(const ScenarioConfig& config,
+                                            LabelPolicy policy) {
   // Constructed per call (cheap: two getenv lookups) so tests can toggle
   // XFA_NO_CACHE at runtime.
   const TraceCache cache;
   const std::string key = config.cache_key();
-  if (auto cached = cache.load(key)) {
-    apply_labels(cached->trace, config, policy);
-    return std::move(*cached);
+  if (Result<ScenarioResult> cached = cache.load(key); cached.ok()) {
+    // A checksum-valid artifact can still be semantically degenerate (stored
+    // by an older build with laxer validation); treat it like a miss.
+    if (validate_scenario_result(*cached).ok()) {
+      apply_labels(cached->trace, config, policy);
+      return std::move(*cached);
+    }
   }
-  ScenarioResult result = simulate(config);
-  cache.store(key, result);
-  apply_labels(result.trace, config, policy);
-  return result;
+  // kNotFound falls through to simulation; kCorruptArtifact additionally
+  // quarantined the bad file inside load() — regeneration is the self-heal.
+  const int retries = max_scenario_retries();
+  Status last;
+  ScenarioConfig attempt = config;
+  for (int i = 0; i <= retries; ++i) {
+    attempt.seed = i == 0 ? config.seed : derive_retry_seed(config.seed, i);
+    ScenarioResult result = simulate(attempt);
+    last = validate_scenario_result(result);
+    if (last.ok()) {
+      // Keyed on the *original* config: the retry sequence is deterministic,
+      // so the key still maps to exactly one trace. A failed store only
+      // costs the next caller a re-simulation.
+      cache.store(key, result);
+      apply_labels(result.trace, config, policy);
+      return result;
+    }
+  }
+  return Status{last.code(),
+                "scenario stayed degenerate after " +
+                    std::to_string(retries + 1) + " attempt(s): " +
+                    last.message()};
+}
+
+ScenarioResult run_scenario(const ScenarioConfig& config, LabelPolicy policy) {
+  Result<ScenarioResult> result = run_scenario_checked(config, policy);
+  XFA_CHECK(result.ok()) << result.status().to_string();
+  return std::move(*result);
 }
 
 }  // namespace xfa

@@ -2,6 +2,7 @@
 // monitored node's feature matrix (the ns-2 run + trace post-processing).
 #pragma once
 
+#include "common/status.h"
 #include "features/extract.h"
 #include "net/channel.h"
 #include "routing/route_events.h"
@@ -36,10 +37,26 @@ struct ScenarioResult {
   ScenarioSummary summary;
 };
 
+/// Usability check on a finished run: non-empty, rectangular, finite feature
+/// rows and a monitor node that actually observed traffic. Anything else is
+/// kDegenerateData — the kind of trace heavy benign faults can produce.
+Status validate_scenario_result(const ScenarioResult& result);
+
 /// Runs (or loads from the trace cache) one scenario. Caching is keyed on
 /// ScenarioConfig::cache_key(); labels are recomputed per call so the policy
 /// is not part of the key. Set XFA_NO_CACHE=1 to force re-simulation;
 /// XFA_CACHE_DIR overrides the cache directory (default ./xfa_cache).
+///
+/// Recovery path: a corrupt cache artifact is quarantined and the trace
+/// regenerated; a degenerate run is retried up to XFA_SCENARIO_RETRIES
+/// (default 2) times with seeds derived deterministically from config.seed,
+/// so the whole procedure — retries included — is a pure function of the
+/// config. Returns kDegenerateData when every attempt stayed degenerate.
+Result<ScenarioResult> run_scenario_checked(
+    const ScenarioConfig& config, LabelPolicy policy = LabelPolicy::OnsetOnwards);
+
+/// Abort-on-failure wrapper over run_scenario_checked for callers with no
+/// recovery of their own (benches, examples).
 ScenarioResult run_scenario(const ScenarioConfig& config,
                             LabelPolicy policy = LabelPolicy::OnsetOnwards);
 

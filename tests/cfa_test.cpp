@@ -187,10 +187,11 @@ TEST(CrossFeatureRegression, LearnsLinearCorrelations) {
             model.mean_log_distance({20, 40, 30}));
 }
 
-TEST(CrossFeature, ConstantLabelColumnIsAlwaysConfident) {
-  // A constant feature's sub-model must predict it with probability 1 and
-  // thus never penalize any event — important because DSR scenarios have
-  // permanently-zero HELLO features.
+TEST(CrossFeature, ConstantLabelColumnIsSkippedAndRenormalized) {
+  // A constant feature (e.g. permanently-zero HELLO counts in DSR
+  // scenarios, or counters frozen by benign loss bursts) admits no
+  // discriminative sub-model: training skips it, records it, and the
+  // Algorithm 2/3 averages renormalize over the survivors.
   Dataset data;
   data.cardinality = {3, 1, 3};
   Rng rng(13);
@@ -199,16 +200,20 @@ TEST(CrossFeature, ConstantLabelColumnIsAlwaysConfident) {
     data.rows.push_back({v, 0, (v + 1) % 3});
   }
   CrossFeatureModel model;
-  model.train(data, {0, 1, 2}, c45(), 1);
+  ASSERT_TRUE(model.train(data, {0, 1, 2}, c45(), 1).ok());
+  EXPECT_EQ(model.submodel_count(), 2u);
+  ASSERT_EQ(model.skipped_columns().size(), 1u);
+  EXPECT_EQ(model.skipped_columns()[0], 1u);
   const EventScore score = model.score({1, 0, 2});
-  // All sub-models match; probabilities are Laplace-smoothed so they sit
-  // just below 1 except for the constant column, which is exactly 1.
+  // Both surviving sub-models match; the average divides by 2, not 3.
   EXPECT_DOUBLE_EQ(score.avg_match_count, 1.0);
   EXPECT_GT(score.avg_probability, 0.9);
 
+  // A label set with no discriminative column cannot train at all.
   CrossFeatureModel constant_only;
-  constant_only.train(data, {1}, c45(), 1);
-  EXPECT_DOUBLE_EQ(constant_only.score({2, 0, 0}).avg_probability, 1.0);
+  const Status status = constant_only.train(data, {1}, c45(), 1);
+  EXPECT_EQ(status.code(), StatusCode::kTrainFailed);
+  EXPECT_FALSE(constant_only.trained());
 }
 
 TEST(CrossFeature, LabelColumnSubsetRestrictsSubmodels) {

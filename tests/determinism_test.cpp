@@ -7,6 +7,7 @@
 #include <cstring>
 #include <string>
 
+#include "faults/plan.h"
 #include "scenario/runner.h"
 
 namespace xfa {
@@ -59,6 +60,32 @@ TEST_F(DeterminismTest, AttackScenarioIsEquallyReproducible) {
   const ScenarioResult first = run_scenario(config);
   const ScenarioResult second = run_scenario(config);
   EXPECT_EQ(trace_bytes(first.trace), trace_bytes(second.trace));
+}
+
+TEST_F(DeterminismTest, FaultPlanChaosIsByteDeterministic) {
+  // The whole point of scheduling chaos from a dedicated seeded stream: the
+  // same seed and the same FaultPlan must reproduce the exact same faulted
+  // trace, byte for byte — including every burst, flap, crash, corrupted
+  // frame and jittered delivery.
+  ScenarioConfig config = small_config();
+  config.faults = benign_chaos();
+  const ScenarioResult first = run_scenario(config);
+  const ScenarioResult second = run_scenario(config);
+  EXPECT_EQ(trace_bytes(first.trace), trace_bytes(second.trace));
+  EXPECT_EQ(first.summary.scheduler_events, second.summary.scheduler_events);
+  EXPECT_EQ(first.summary.channel.fault_corrupted,
+            second.summary.channel.fault_corrupted);
+  EXPECT_EQ(first.summary.channel.fault_duplicates,
+            second.summary.channel.fault_duplicates);
+
+  // A different fault seed is a different scenario.
+  config.faults.fault_seed += 1;
+  const ScenarioResult reseeded = run_scenario(config);
+  EXPECT_NE(trace_bytes(first.trace), trace_bytes(reseeded.trace));
+
+  // And the fault layer left the fault-free path untouched.
+  const ScenarioResult clean = run_scenario(small_config());
+  EXPECT_NE(trace_bytes(first.trace), trace_bytes(clean.trace));
 }
 
 TEST_F(DeterminismTest, DifferentSeedsDiverge) {

@@ -16,6 +16,13 @@
 //   cmake-registered  Every .cpp under src/ appears in src/CMakeLists.txt,
 //                     so no translation unit silently drops out of the build
 //                     (and out of clang-tidy / sanitizer coverage).
+//   status-not-abort  Recoverable I/O paths under src/scenario/ — any TU
+//                     there that touches the filesystem (<fstream>,
+//                     <filesystem>, <cstdio>) — must not use XFA_CHECK /
+//                     XFA_DCHECK: environmental failures (corrupt artifacts,
+//                     full disks) are expected at production scale and must
+//                     propagate as Status/Result (common/status.h), not
+//                     abort the process.
 //
 // Exit status is the number of violations (0 == clean), each printed as
 // `file:line: rule: message` so editors can jump to them.
@@ -122,6 +129,33 @@ void check_pragma_once(const fs::path& file,
   report(file, 1, "pragma-once", "empty header missing #pragma once");
 }
 
+void check_status_not_abort(const fs::path& file, const fs::path& rel,
+                            const std::vector<std::string>& lines) {
+  if (rel.generic_string().rfind("scenario/", 0) != 0) return;
+  // A scenario TU that does file I/O is a recoverable path: everything that
+  // can go wrong there (corrupt bytes, ENOSPC, races with other processes)
+  // is environmental, so abort-style contracts are banned in the whole TU.
+  bool does_io = false;
+  for (const std::string& line : lines) {
+    if (line.find("<fstream>") != std::string::npos ||
+        line.find("<filesystem>") != std::string::npos ||
+        line.find("<cstdio>") != std::string::npos) {
+      does_io = true;
+      break;
+    }
+  }
+  if (!does_io) return;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (contains_token(lines[i], "XFA_CHECK") ||
+        contains_token(lines[i], "XFA_DCHECK")) {
+      report(file, i + 1, "status-not-abort",
+             "this scenario TU does file I/O; recoverable failures must "
+             "return Status/Result (common/status.h), not abort via "
+             "XFA_CHECK");
+    }
+  }
+}
+
 void check_cmake_registered(const fs::path& file, const fs::path& rel,
                             const std::string& cmake_text) {
   if (cmake_text.find(rel.generic_string()) == std::string::npos) {
@@ -159,6 +193,7 @@ int main(int argc, char** argv) {
 
     check_determinism(file, rel, lines);
     check_no_raw_assert(file, lines);
+    check_status_not_abort(file, rel, lines);
     if (ext == ".h") check_pragma_once(file, lines);
     if (ext == ".cpp") check_cmake_registered(file, rel, cmake_text);
   }
