@@ -4,8 +4,12 @@
 #include <cstdio>
 
 #include "bench/common.h"
+#include "bench/registry.h"
 
-int main() {
+namespace xfa::bench {
+namespace {
+
+int run_plan() {
   using namespace xfa;
   using namespace xfa::bench;
 
@@ -38,3 +42,10 @@ int main() {
       "is what makes bucket indices stable across runs of the scenario.\n");
   return 0;
 }
+
+const PlanRegistrar registrar{"ablation_buckets",
+                              "Ablation A: equal-frequency bucket count and relative-gap guard",
+                              run_plan};
+
+}  // namespace
+}  // namespace xfa::bench

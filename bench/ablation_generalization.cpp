@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bench/common.h"
+#include "bench/registry.h"
 
 namespace {
 
@@ -54,7 +55,10 @@ ExperimentData gather_varied(bool vary_mobility, bool vary_traffic) {
 
 }  // namespace
 
-int main() {
+namespace xfa::bench {
+namespace {
+
+int run_plan() {
   using namespace xfa::bench;
 
   print_rule('=');
@@ -90,3 +94,10 @@ int main() {
       "a fielded MANET IDS would retrain its profile in place.\n");
   return 0;
 }
+
+const PlanRegistrar registrar{"ablation_generalization",
+                              "Ablation D: cross-scenario generalization loss",
+                              run_plan};
+
+}  // namespace
+}  // namespace xfa::bench

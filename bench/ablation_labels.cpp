@@ -8,8 +8,12 @@
 #include <cstdio>
 
 #include "bench/common.h"
+#include "bench/registry.h"
 
-int main() {
+namespace xfa::bench {
+namespace {
+
+int run_plan() {
   using namespace xfa;
   using namespace xfa::bench;
 
@@ -44,3 +48,10 @@ int main() {
       "ended\" problem, made quantitative.\n");
   return 0;
 }
+
+const PlanRegistrar registrar{"ablation_labels",
+                              "Ablation E: onset-onwards vs active-sessions labelling",
+                              run_plan};
+
+}  // namespace
+}  // namespace xfa::bench

@@ -4,8 +4,12 @@
 #include <cstdio>
 
 #include "bench/common.h"
+#include "bench/registry.h"
 
-int main() {
+namespace xfa::bench {
+namespace {
+
+int run_plan() {
   using namespace xfa;
   using namespace xfa::bench;
 
@@ -49,3 +53,10 @@ int main() {
       "simplified with a reduced feature set\").\n");
   return 0;
 }
+
+const PlanRegistrar registrar{"ablation_periods",
+                              "Ablation B: contribution of the 5/60/900 s sampling periods",
+                              run_plan};
+
+}  // namespace
+}  // namespace xfa::bench

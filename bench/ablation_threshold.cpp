@@ -5,9 +5,13 @@
 #include <cstdio>
 
 #include "bench/common.h"
+#include "bench/registry.h"
 #include "cfa/threshold.h"
 
-int main() {
+namespace xfa::bench {
+namespace {
+
+int run_plan() {
   using namespace xfa;
   using namespace xfa::bench;
 
@@ -52,3 +56,10 @@ int main() {
       "as the threshold tightens — the paper's recall/precision trade-off.\n");
   return 0;
 }
+
+const PlanRegistrar registrar{"ablation_threshold",
+                              "Ablation C: target false-alarm rate vs realized FAR/detection",
+                              run_plan};
+
+}  // namespace
+}  // namespace xfa::bench

@@ -10,8 +10,12 @@
 #include <map>
 
 #include "bench/common.h"
+#include "bench/registry.h"
 
-int main() {
+namespace xfa::bench {
+namespace {
+
+int run_plan() {
   using namespace xfa;
   using namespace xfa::bench;
 
@@ -63,3 +67,10 @@ int main() {
               aodv_c45 > dsr_c45 ? "YES" : "no", aodv_c45, dsr_c45);
   return 0;
 }
+
+const PlanRegistrar registrar{"fig1",
+                              "Figure 1: recall-precision curves (average probability), all scenarios/classifiers",
+                              run_plan};
+
+}  // namespace
+}  // namespace xfa::bench

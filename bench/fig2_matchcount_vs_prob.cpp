@@ -9,8 +9,12 @@
 #include <cstdio>
 
 #include "bench/common.h"
+#include "bench/registry.h"
 
-int main() {
+namespace xfa::bench {
+namespace {
+
+int run_plan() {
   using namespace xfa;
   using namespace xfa::bench;
 
@@ -53,3 +57,10 @@ int main() {
               others_gain);
   return 0;
 }
+
+const PlanRegistrar registrar{"fig2",
+                              "Figure 2: average match count vs average probability with RIPPER",
+                              run_plan};
+
+}  // namespace
+}  // namespace xfa::bench

@@ -11,8 +11,12 @@
 #include <cstdio>
 
 #include "bench/common.h"
+#include "bench/registry.h"
 
-int main() {
+namespace xfa::bench {
+namespace {
+
+int run_plan() {
   using namespace xfa;
   using namespace xfa::bench;
 
@@ -94,3 +98,10 @@ int main() {
   }
   return 0;
 }
+
+const PlanRegistrar registrar{"fig3",
+                              "Figure 3: average-probability time series, normal vs abnormal, C4.5",
+                              run_plan};
+
+}  // namespace
+}  // namespace xfa::bench

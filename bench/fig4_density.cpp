@@ -10,8 +10,12 @@
 #include <cstdio>
 
 #include "bench/common.h"
+#include "bench/registry.h"
 
-int main() {
+namespace xfa::bench {
+namespace {
+
+int run_plan() {
   using namespace xfa;
   using namespace xfa::bench;
 
@@ -65,3 +69,10 @@ int main() {
               dsr_missed);
   return 0;
 }
+
+const PlanRegistrar registrar{"fig4",
+                              "Figure 4: average-probability density distributions with threshold, C4.5",
+                              run_plan};
+
+}  // namespace
+}  // namespace xfa::bench

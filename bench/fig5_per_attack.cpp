@@ -10,8 +10,12 @@
 #include <cstdio>
 
 #include "bench/common.h"
+#include "bench/registry.h"
 
-int main() {
+namespace xfa::bench {
+namespace {
+
+int run_plan() {
   using namespace xfa;
   using namespace xfa::bench;
 
@@ -105,3 +109,10 @@ int main() {
   }
   return 0;
 }
+
+const PlanRegistrar registrar{"fig5",
+                              "Figure 5: per-attack time series (black hole / dropping), AODV/UDP, C4.5",
+                              run_plan};
+
+}  // namespace
+}  // namespace xfa::bench

@@ -8,8 +8,12 @@
 #include <cstdio>
 
 #include "bench/common.h"
+#include "bench/registry.h"
 
-int main() {
+namespace xfa::bench {
+namespace {
+
+int run_plan() {
   using namespace xfa;
   using namespace xfa::bench;
 
@@ -63,3 +67,10 @@ int main() {
   }
   return 0;
 }
+
+const PlanRegistrar registrar{"fig6",
+                              "Figure 6: per-attack density distributions, AODV/UDP, C4.5",
+                              run_plan};
+
+}  // namespace
+}  // namespace xfa::bench

@@ -1,0 +1,145 @@
+#include "bench/registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "exec/thread_pool.h"
+
+namespace xfa::bench {
+namespace {
+
+/// Registration order is link order (unspecified); plans() sorts by name so
+/// every listing is deterministic.
+std::vector<ExperimentPlan>& registry() {
+  static std::vector<ExperimentPlan> plans;
+  return plans;
+}
+
+int print_plan_list() {
+  std::printf("%-24s %s\n", "PLAN", "DESCRIPTION");
+  for (const ExperimentPlan* plan : plans())
+    std::printf("%-24s %s\n", plan->name.c_str(), plan->description.c_str());
+  return 0;
+}
+
+int print_usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--list] [--threads=N] [--out=PATH] <plan>...\n"
+               "       (run `%s --list` for the registered plans)\n",
+               argv0, argv0);
+  return 2;
+}
+
+/// Parses the integer suffix of "--threads=N"; aborts the CLI on garbage.
+bool parse_threads(const std::string& value, std::size_t* threads) {
+  if (value.empty()) return false;
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *threads = static_cast<std::size_t>(parsed);
+  return true;
+}
+
+}  // namespace
+
+void register_plan(ExperimentPlan plan) {
+  XFA_CHECK(!plan.name.empty()) << "plan with empty name";
+  XFA_CHECK(static_cast<bool>(plan.run)) << "plan '" << plan.name
+                                         << "' has no run function";
+  XFA_CHECK(find_plan(plan.name) == nullptr)
+      << "duplicate plan name '" << plan.name << "'";
+  registry().push_back(std::move(plan));
+}
+
+std::vector<const ExperimentPlan*> plans() {
+  std::vector<const ExperimentPlan*> sorted;
+  sorted.reserve(registry().size());
+  for (const ExperimentPlan& plan : registry()) sorted.push_back(&plan);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ExperimentPlan* a, const ExperimentPlan* b) {
+              return a->name < b->name;
+            });
+  return sorted;
+}
+
+const ExperimentPlan* find_plan(const std::string& name) {
+  for (const ExperimentPlan& plan : registry())
+    if (plan.name == name) return &plan;
+  return nullptr;
+}
+
+int run_plan_cli(int argc, char** argv, const char* default_plan) {
+  bool list = false;
+  std::size_t threads = 0;  // 0 = leave the shared pool at its default size
+  bool threads_set = false;
+  std::string out_path;
+  std::vector<std::string> selected;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") {
+      list = true;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      if (!parse_threads(arg.substr(10), &threads) || threads == 0) {
+        std::fprintf(stderr, "bad --threads value: %s\n", arg.c_str());
+        return 2;
+      }
+      threads_set = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg == "--help" || arg == "-h") {
+      return print_usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    } else {
+      selected.push_back(arg);
+    }
+  }
+
+  if (list) return print_plan_list();
+  if (selected.empty()) {
+    if (default_plan == nullptr) return print_usage(argv[0]);
+    selected.push_back(default_plan);
+  }
+
+  // Resolve every plan before running any, so a typo in the second name
+  // does not waste the first plan's simulation time.
+  std::vector<const ExperimentPlan*> to_run;
+  for (const std::string& name : selected) {
+    const ExperimentPlan* plan = find_plan(name);
+    if (plan == nullptr) {
+      std::fprintf(stderr, "unknown plan '%s'; run `%s --list`\n",
+                   name.c_str(), argv[0]);
+      return 2;
+    }
+    to_run.push_back(plan);
+  }
+
+  if (threads_set) resize_shared_pool(threads);
+  if (!out_path.empty()) {
+    if (std::freopen(out_path.c_str(), "w", stdout) == nullptr) {
+      std::fprintf(stderr, "cannot open --out path '%s'\n", out_path.c_str());
+      return 2;
+    }
+  }
+
+  int exit_code = 0;
+  for (const ExperimentPlan* plan : to_run) {
+    const int code = plan->run();
+    if (code != 0) exit_code = code;
+  }
+  std::fflush(stdout);
+  return exit_code;
+}
+
+PlanRegistrar::PlanRegistrar(std::string name, std::string description,
+                             std::function<int()> run) {
+  register_plan({std::move(name), std::move(description), std::move(run)});
+}
+
+}  // namespace xfa::bench

@@ -1,0 +1,13 @@
+// Shared main() for the legacy per-figure binaries: each shim target
+// compiles this file with XFA_BENCH_DEFAULT_PLAN set to its plan name, so
+// `./fig1_recall_precision` behaves exactly like `./xfa_bench fig1` (and
+// still accepts --threads/--out/--list).
+#include "bench/registry.h"
+
+#ifndef XFA_BENCH_DEFAULT_PLAN
+#error "compile with -DXFA_BENCH_DEFAULT_PLAN=\"<plan>\""
+#endif
+
+int main(int argc, char** argv) {
+  return xfa::bench::run_plan_cli(argc, argv, XFA_BENCH_DEFAULT_PLAN);
+}

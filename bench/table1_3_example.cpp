@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "bench/common.h"
+#include "bench/registry.h"
 
 namespace {
 
@@ -111,7 +112,10 @@ bool is_normal(const std::array<int, 3>& event) {
 
 }  // namespace
 
-int main() {
+namespace xfa::bench {
+namespace {
+
+int run_plan() {
   xfa::bench::print_rule('=');
   std::printf("Tables 1-3: the 2-node network illustrative example\n");
   xfa::bench::print_rule('=');
@@ -180,3 +184,10 @@ int main() {
       alg3_errors);
   return alg3_errors == 0 ? 0 : 1;
 }
+
+const PlanRegistrar registrar{"table1_3",
+                              "Tables 1-3: two-node worked example with the paper's illustrative classifier",
+                              run_plan};
+
+}  // namespace
+}  // namespace xfa::bench

@@ -7,9 +7,13 @@
 #include "attacks/blackhole.h"
 #include "attacks/dropper.h"
 #include "bench/common.h"
+#include "bench/registry.h"
 #include "features/schema.h"
 
-int main() {
+namespace xfa::bench {
+namespace {
+
+int run_plan() {
   using namespace xfa;
 
   bench::print_rule('=');
@@ -78,3 +82,10 @@ int main() {
       "s.\n");
   return 0;
 }
+
+const PlanRegistrar registrar{"table4_6",
+                              "Tables 4-6: feature inventory and simulated-intrusion inventory",
+                              run_plan};
+
+}  // namespace
+}  // namespace xfa::bench

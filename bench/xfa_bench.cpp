@@ -1,0 +1,7 @@
+// The one bench driver: runs any registered ExperimentPlan (figures, tables,
+// ablations, smoke). See bench/registry.h for the CLI contract.
+#include "bench/registry.h"
+
+int main(int argc, char** argv) {
+  return xfa::bench::run_plan_cli(argc, argv);
+}

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Full correctness gate: build + test the tree twice —
-#   1. plain Release with XFA_WERROR=ON (warnings are errors), and
-#   2. ASan+UBSan with recovery disabled (any report aborts the test) —
-# running the xfa_lint repo rules in both, then re-running the chaos /
+# Full correctness gate: build + test the tree three times —
+#   1. plain Release with XFA_WERROR=ON (warnings are errors),
+#   2. ASan+UBSan with recovery disabled (any report aborts the test), and
+#   3. TSan over the concurrency suites (thread pool, task groups,
+#      single-flight, cache stress, parallel gather, engine determinism) —
+# running the xfa_lint repo rules in every pass, then re-running the chaos /
 # corruption robustness suites under the sanitizers with the cache forced
 # live (XFA_NO_CACHE) so every fault-injection and artifact-parsing path is
 # actually exercised under ASan+UBSan. CI runs exactly this script.
@@ -40,6 +42,21 @@ run_pass "asan+ubsan" build-check-sanitize \
 echo "=== asan+ubsan: chaos/corruption robustness (cache disabled) ==="
 XFA_NO_CACHE=1 ctest --test-dir build-check-sanitize -j "${JOBS}" \
   -R 'CacheRobustness|FaultPlan|FaultInjector|FaultScenario|DegradedCfa|DegradedPipeline|Determinism' \
+  --output-on-failure
+
+# Concurrency gate: the execution layer and everything built on it must be
+# race-free under ThreadSanitizer. ASan and TSan cannot share a build, so
+# this is its own pass; it runs only the concurrency-focused suites (a full
+# TSan ctest would multiply the simulation-heavy tests' runtime ~10x for no
+# extra interleaving coverage).
+echo "=== tsan: configure + build ==="
+cmake -B build-check-tsan -S . -DXFA_WERROR=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DXFA_SANITIZE="thread"
+cmake --build build-check-tsan -j "${JOBS}"
+echo "=== tsan: concurrency suites ==="
+ctest --test-dir build-check-tsan -j "${JOBS}" \
+  -R 'ThreadPool|TaskGroup|ParallelFor|SingleFlight|SharedPool|CacheStress|ParallelGather|EngineDeterminism' \
   --output-on-failure
 
 echo "All checks passed."

@@ -1,9 +1,9 @@
 #include "cfa/model.h"
 
 #include <cmath>
-#include <thread>
 
 #include "common/check.h"
+#include "exec/parallel_for.h"
 
 namespace xfa {
 
@@ -54,32 +54,23 @@ Status CrossFeatureModel::train(const Dataset& normal_data,
   submodels_.clear();
   submodels_.resize(label_columns_.size());
 
-  if (threads == 0) {
-    threads = std::thread::hardware_concurrency();
-    if (threads == 0) threads = 1;
-  }
-  threads = std::min(threads, label_columns_.size());
-
-  // Worker over a strided partition of sub-model indices. Each sub-model
-  // with respect to f_i uses every other label column as input features.
-  const auto worker = [&](std::size_t start) {
-    for (std::size_t i = start; i < label_columns_.size(); i += threads) {
-      std::vector<std::size_t> features;
-      features.reserve(label_columns_.size() - 1);
-      for (const std::size_t col : label_columns_)
-        if (col != label_columns_[i]) features.push_back(col);
-      auto classifier = factory();
-      classifier->fit(normal_data, features, label_columns_[i]);
-      submodels_[i] = std::move(classifier);
-    }
+  // One sub-model fit per index, written to its own slot — byte-identical
+  // for any worker count. Each sub-model with respect to f_i uses every
+  // other label column as input features.
+  const auto fit_submodel = [&](std::size_t i) {
+    std::vector<std::size_t> features;
+    features.reserve(label_columns_.size() - 1);
+    for (const std::size_t col : label_columns_)
+      if (col != label_columns_[i]) features.push_back(col);
+    auto classifier = factory();
+    classifier->fit(normal_data, features, label_columns_[i]);
+    submodels_[i] = std::move(classifier);
   };
   if (threads == 1) {
-    worker(0);
+    // Explicit opt-out (callers measuring serial cost): stay on this thread.
+    for (std::size_t i = 0; i < label_columns_.size(); ++i) fit_submodel(i);
   } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
-    for (std::thread& t : pool) t.join();
+    parallel_for(shared_pool(), label_columns_.size(), fit_submodel);
   }
   return Status::Ok();
 }

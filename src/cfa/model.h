@@ -40,7 +40,9 @@ class CrossFeatureModel {
   /// Algorithm 1. `label_columns` are the features to build sub-models for
   /// (the classifiable columns of the schema — time is excluded upstream);
   /// each sub-model uses all the *other* label columns as its inputs.
-  /// `threads` = 0 uses the hardware concurrency.
+  /// Sub-model fits run on the shared execution pool (src/exec); pass
+  /// `threads` = 1 to force serial fitting on the calling thread. Results
+  /// are byte-identical either way.
   ///
   /// Degrades gracefully: a label column that is constant over the training
   /// data (the typical casualty of benign network faults — e.g. a counter

@@ -1,0 +1,70 @@
+// Single-flight deduplication: concurrent calls with the same key execute
+// the underlying function once; every caller gets a copy of the one result.
+//
+// The scenario runner uses this so two pool tasks requesting the same trace
+// key simulate (and publish to the cache) once. Waiters block rather than
+// drain the pool — that is safe here because the leader is, by definition,
+// already running on some thread and makes progress independently.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace xfa {
+
+template <typename Value>
+class SingleFlight {
+ public:
+  /// Runs `fn` for `key`, unless another thread is already running it — then
+  /// blocks until that leader finishes and returns a copy of its result.
+  /// Completed calls are forgotten immediately: this deduplicates in-flight
+  /// work only, it is not a result cache.
+  template <typename Fn>
+  Value run(const std::string& key, Fn&& fn) {
+    std::shared_ptr<Call> call;
+    bool leader = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      std::shared_ptr<Call>& slot = calls_[key];
+      if (slot == nullptr) {
+        slot = std::make_shared<Call>();
+        leader = true;
+      }
+      call = slot;
+    }
+    if (leader) {
+      Value value = fn();
+      {
+        std::lock_guard<std::mutex> lock(call->mutex);
+        call->value = std::make_shared<Value>(std::move(value));
+      }
+      {
+        // Unpublish before notifying: a caller arriving now starts a fresh
+        // flight instead of joining a finished one.
+        std::lock_guard<std::mutex> lock(mutex_);
+        calls_.erase(key);
+      }
+      call->done.notify_all();
+      return *call->value;
+    }
+    std::unique_lock<std::mutex> lock(call->mutex);
+    call->done.wait(lock, [&call] { return call->value != nullptr; });
+    return *call->value;
+  }
+
+ private:
+  struct Call {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::shared_ptr<Value> value;  // set exactly once, under mutex
+  };
+
+  std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<Call>> calls_;
+};
+
+}  // namespace xfa

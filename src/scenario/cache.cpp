@@ -1,14 +1,20 @@
 #include "scenario/cache.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "common/crc64.h"
+#include "common/env.h"
 
 namespace xfa {
 namespace {
@@ -144,15 +150,13 @@ bool parse_payload(const std::string& payload, const std::string& key,
 }  // namespace
 
 TraceCache::TraceCache(std::string directory) : directory_(std::move(directory)) {
-  if (const char* env = std::getenv("XFA_NO_CACHE");
-      env != nullptr && env[0] == '1') {
+  // Environment reads go through the immutable process snapshot
+  // (common/env.h) so concurrent pool workers never race on getenv.
+  if (env().no_cache) {
     enabled_ = false;
     return;
   }
-  if (directory_.empty()) {
-    const char* env = std::getenv("XFA_CACHE_DIR");
-    directory_ = env != nullptr ? env : "xfa_cache";
-  }
+  if (directory_.empty()) directory_ = env().cache_dir;
 }
 
 std::string TraceCache::artifact_path(const std::string& key) const {
@@ -242,7 +246,18 @@ Status TraceCache::store(const std::string& key,
   if (ec && !std::filesystem::is_directory(directory_))
     return {StatusCode::kIoError, directory_ + ": " + ec.message()};
   const std::string path = artifact_path(key);
-  const std::string tmp = path + ".tmp";
+  // The temp name must be unique per writer: a shared `path + ".tmp"` lets
+  // two concurrent stores interleave writes into one file and publish the
+  // mixture. pid disambiguates processes, the atomic counter disambiguates
+  // threads within one.
+  static std::atomic<std::uint64_t> temp_sequence{0};
+#if defined(__unix__) || defined(__APPLE__)
+  const unsigned long long pid = static_cast<unsigned long long>(getpid());
+#else
+  const unsigned long long pid = 0;
+#endif
+  const std::string tmp = path + "." + std::to_string(pid) + "." +
+                          std::to_string(temp_sequence.fetch_add(1)) + ".tmp";
   {
     std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
     if (!os) return {StatusCode::kIoError, tmp + ": cannot open"};
@@ -266,7 +281,30 @@ Status TraceCache::store(const std::string& key,
     std::filesystem::remove(tmp, ec);
     return {StatusCode::kIoError, path + ": rename failed"};
   }
+  remove_stale_temps();
   return Status::Ok();
+}
+
+void TraceCache::remove_stale_temps() const {
+  // A writer that crashed between open and rename leaves its unique temp
+  // file behind forever. Sweep the directory for *.tmp entries old enough
+  // that no live writer can still own them (a store lasts milliseconds; the
+  // hour-scale threshold makes deleting a concurrent writer's live temp
+  // impossible in practice).
+  namespace fs = std::filesystem;
+  constexpr auto kStaleAge = std::chrono::hours(1);
+  std::error_code ec;
+  fs::directory_iterator it(directory_, ec);
+  if (ec) return;
+  const auto now = fs::file_time_type::clock::now();
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec)) continue;
+    const fs::path& p = entry.path();
+    if (p.extension() != ".tmp") continue;
+    const auto written = fs::last_write_time(p, ec);
+    if (ec) continue;
+    if (now - written > kStaleAge) fs::remove(p, ec);
+  }
 }
 
 }  // namespace xfa

@@ -33,9 +33,12 @@ class TraceCache {
   Result<ScenarioResult> load(const std::string& key) const;
 
   /// Atomically publishes the artifact for `key`: the payload is serialized
-  /// and checksummed in memory, written to a temp file whose stream state is
-  /// verified after every write, then renamed into place. On failure the
-  /// temp file is deleted and nothing is published (kIoError).
+  /// and checksummed in memory, written to a per-writer-unique temp file
+  /// (`<path>.<pid>.<seq>.tmp`, so concurrent stores — threads or processes
+  /// — never interleave) whose stream state is verified after every write,
+  /// then renamed into place. On failure the temp file is deleted and
+  /// nothing is published (kIoError). Successful stores also sweep temp
+  /// files abandoned by crashed writers (older than an hour).
   Status store(const std::string& key, const ScenarioResult& result) const;
 
   const std::string& directory() const { return directory_; }
@@ -44,6 +47,9 @@ class TraceCache {
   std::string artifact_path(const std::string& key) const;
 
  private:
+  /// Deletes *.tmp leftovers from crashed writers (age > 1 h); best-effort.
+  void remove_stale_temps() const;
+
   std::string directory_;
   bool enabled_ = true;
 };

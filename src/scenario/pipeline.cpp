@@ -1,19 +1,17 @@
 #include "scenario/pipeline.h"
 
 #include <algorithm>
-#include <cstdlib>
 
 #include "common/check.h"
+#include "common/env.h"
+#include "exec/task_group.h"
 #include "ml/c45.h"
 #include "ml/naive_bayes.h"
 #include "ml/ripper.h"
 
 namespace xfa {
 
-bool fast_mode_enabled() {
-  const char* env = std::getenv("XFA_FAST");
-  return env != nullptr && env[0] == '1';
-}
+bool fast_mode_enabled() { return env().fast; }
 
 ExperimentOptions scaled(ExperimentOptions options) {
   constexpr double kFactor = 0.25;
@@ -56,33 +54,56 @@ Result<ExperimentData> gather_experiment_checked(
   ExperimentData data;
   data.base_config = base;
 
-  // Training trace: one run of normal data.
+  // The full inventory, in presentation order: the training trace, the
+  // normal evaluation traces, then the attack traces.
+  std::vector<ScenarioConfig> configs;
+  configs.reserve(1 + options.normal_eval_traces + options.abnormal_traces);
   {
     ScenarioConfig config = base;
     config.seed = options.base_seed;
-    auto result = run_scenario_checked(config, options.label_policy);
-    if (!result.ok()) return result.status();
-    data.train_normal = std::move(result.value().trace);
-    data.summaries.push_back(result.value().summary);
+    configs.push_back(config);
   }
-  // Normal evaluation traces.
   for (std::size_t i = 0; i < options.normal_eval_traces; ++i) {
     ScenarioConfig config = base;
     config.seed = options.base_seed + 1 + i;
-    auto result = run_scenario_checked(config, options.label_policy);
-    if (!result.ok()) return result.status();
-    data.normal_eval.push_back(std::move(result.value().trace));
-    data.summaries.push_back(result.value().summary);
+    configs.push_back(config);
   }
-  // Attack traces.
   for (std::size_t i = 0; i < options.abnormal_traces; ++i) {
     ScenarioConfig config = base;
     config.seed = options.base_seed + 100 + i;
     config.attacks = options.attacks;
-    auto result = run_scenario_checked(config, options.label_policy);
+    configs.push_back(config);
+  }
+
+  // Every trace simulation is an isolated world (see run_scenario_checked),
+  // so the whole inventory is schedulable work: submit it all to the shared
+  // pool and assemble results by slot index — the output is identical to
+  // the old serial loop for any pool size. The first failure cancels the
+  // not-yet-started simulations.
+  std::vector<Result<ScenarioResult>> results(
+      configs.size(), Status{StatusCode::kRetryable, "cancelled"});
+  {
+    TaskGroup group(shared_pool());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      group.submit([&configs, &results, &options, i] {
+        results[i] = run_scenario_checked(configs[i], options.label_policy);
+        return results[i].ok() ? Status::Ok() : results[i].status();
+      });
+    }
+    if (Status status = group.wait(); !status.ok()) return status;
+  }
+
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    Result<ScenarioResult>& result = results[i];
     if (!result.ok()) return result.status();
-    data.abnormal.push_back(std::move(result.value().trace));
-    data.summaries.push_back(result.value().summary);
+    data.summaries.push_back(result->summary);
+    if (i == 0) {
+      data.train_normal = std::move(result->trace);
+    } else if (i <= options.normal_eval_traces) {
+      data.normal_eval.push_back(std::move(result->trace));
+    } else {
+      data.abnormal.push_back(std::move(result->trace));
+    }
   }
   return data;
 }

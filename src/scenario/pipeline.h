@@ -59,7 +59,10 @@ struct ExperimentData {
 
 /// Simulates (or loads) the full trace inventory for one scenario,
 /// propagating any scenario failure (after the runner's bounded retries)
-/// instead of aborting.
+/// instead of aborting. All trace simulations run concurrently on the
+/// shared execution pool (src/exec) — results are assembled by slot, so
+/// the inventory is byte-identical for any pool size — and the first hard
+/// failure cancels the simulations that have not started yet.
 Result<ExperimentData> gather_experiment_checked(
     RoutingKind routing, TransportKind transport,
     const ExperimentOptions& options);

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdlib>
 #include <memory>
 #include <vector>
 
@@ -11,6 +10,8 @@
 #include "attacks/dropper.h"
 #include "attacks/storm.h"
 #include "common/check.h"
+#include "common/env.h"
+#include "exec/single_flight.h"
 #include "faults/injector.h"
 #include "net/node.h"
 #include "routing/aodv/aodv.h"
@@ -257,34 +258,23 @@ std::uint64_t derive_retry_seed(std::uint64_t seed, int attempt) {
   return z ^ (z >> 31);
 }
 
-int max_scenario_retries() {
-  if (const char* env = std::getenv("XFA_SCENARIO_RETRIES");
-      env != nullptr && env[0] != '\0') {
-    const int parsed = std::atoi(env);
-    if (parsed >= 0) return parsed;
-  }
-  return 2;
-}
-
-}  // namespace
-
-Result<ScenarioResult> run_scenario_checked(const ScenarioConfig& config,
-                                            LabelPolicy policy) {
-  // Constructed per call (cheap: two getenv lookups) so tests can toggle
-  // XFA_NO_CACHE at runtime.
+/// Cache-load-or-simulate for one config, labels not yet applied. This is
+/// the section the single-flight guard protects: everything in here is a
+/// pure function of the config (retries included), so one execution serves
+/// every concurrent requester of the same key.
+Result<ScenarioResult> load_or_simulate(const ScenarioConfig& config,
+                                        const std::string& key) {
+  // Constructed per call (cheap: reads of the env snapshot) so tests can
+  // toggle XFA_NO_CACHE between scenarios via refresh_env_for_testing().
   const TraceCache cache;
-  const std::string key = config.cache_key();
   if (Result<ScenarioResult> cached = cache.load(key); cached.ok()) {
     // A checksum-valid artifact can still be semantically degenerate (stored
     // by an older build with laxer validation); treat it like a miss.
-    if (validate_scenario_result(*cached).ok()) {
-      apply_labels(cached->trace, config, policy);
-      return std::move(*cached);
-    }
+    if (validate_scenario_result(*cached).ok()) return std::move(*cached);
   }
   // kNotFound falls through to simulation; kCorruptArtifact additionally
   // quarantined the bad file inside load() — regeneration is the self-heal.
-  const int retries = max_scenario_retries();
+  const int retries = env().scenario_retries;
   Status last;
   ScenarioConfig attempt = config;
   for (int i = 0; i <= retries; ++i) {
@@ -296,7 +286,6 @@ Result<ScenarioResult> run_scenario_checked(const ScenarioConfig& config,
       // so the key still maps to exactly one trace. A failed store only
       // costs the next caller a re-simulation.
       cache.store(key, result);
-      apply_labels(result.trace, config, policy);
       return result;
     }
   }
@@ -304,6 +293,30 @@ Result<ScenarioResult> run_scenario_checked(const ScenarioConfig& config,
                 "scenario stayed degenerate after " +
                     std::to_string(retries + 1) + " attempt(s): " +
                     last.message()};
+}
+
+/// In-flight dedup across pool workers: two tasks asking for the same trace
+/// key simulate once. Each run_scenario_checked call owns an isolated
+/// Simulator/Channel/FaultInjector world (all state lives inside
+/// simulate()), so the *only* cross-task coupling is this keyed rendezvous
+/// plus the cache files it guards.
+SingleFlight<Result<ScenarioResult>>& scenario_single_flight() {
+  static SingleFlight<Result<ScenarioResult>> flights;
+  return flights;
+}
+
+}  // namespace
+
+Result<ScenarioResult> run_scenario_checked(const ScenarioConfig& config,
+                                            LabelPolicy policy) {
+  const std::string key = config.cache_key();
+  Result<ScenarioResult> result = scenario_single_flight().run(
+      key, [&config, &key] { return load_or_simulate(config, key); });
+  if (!result.ok()) return result.status();
+  // Labels depend on the caller's policy (not part of the key), so they are
+  // applied to this caller's copy after the shared flight resolves.
+  apply_labels(result->trace, config, policy);
+  return std::move(*result);
 }
 
 ScenarioResult run_scenario(const ScenarioConfig& config, LabelPolicy policy) {

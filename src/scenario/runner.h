@@ -45,7 +45,13 @@ Status validate_scenario_result(const ScenarioResult& result);
 /// Runs (or loads from the trace cache) one scenario. Caching is keyed on
 /// ScenarioConfig::cache_key(); labels are recomputed per call so the policy
 /// is not part of the key. Set XFA_NO_CACHE=1 to force re-simulation;
-/// XFA_CACHE_DIR overrides the cache directory (default ./xfa_cache).
+/// XFA_CACHE_DIR overrides the cache directory (default ./xfa_cache); both
+/// are read from the process env snapshot (common/env.h).
+///
+/// Concurrency-safe: every call owns an isolated simulation world, and an
+/// in-flight single-flight guard keyed on the cache key makes concurrent
+/// requests for the same trace simulate exactly once — each caller then
+/// labels its own copy per its policy.
 ///
 /// Recovery path: a corrupt cache artifact is quarantined and the trace
 /// regenerated; a degenerate run is retried up to XFA_SCENARIO_RETRIES

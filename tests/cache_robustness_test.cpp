@@ -10,6 +10,7 @@
 #include <string>
 
 #include "common/crc64.h"
+#include "common/env.h"
 #include "scenario/cache.h"
 #include "scenario/runner.h"
 
@@ -62,11 +63,13 @@ class CacheRobustnessTest : public ::testing::Test {
     std::filesystem::remove_all(dir_);
     std::filesystem::create_directories(dir_);
     unsetenv("XFA_NO_CACHE");
+    refresh_env_for_testing();
   }
   void TearDown() override {
     std::filesystem::remove_all(dir_);
     unsetenv("XFA_CACHE_DIR");
     unsetenv("XFA_NO_CACHE");
+    refresh_env_for_testing();
   }
 
   std::string dir_;
@@ -98,6 +101,7 @@ TEST_F(CacheRobustnessTest, MissIsNotFoundAndQuarantinesNothing) {
 
 TEST_F(CacheRobustnessTest, DisabledCacheLoadsAndStoresNothing) {
   setenv("XFA_NO_CACHE", "1", 1);
+  refresh_env_for_testing();
   const TraceCache cache(dir_);
   EXPECT_FALSE(cache.enabled());
   EXPECT_TRUE(cache.store("key", sample_result()).ok());  // silently skipped
@@ -276,6 +280,7 @@ TEST_F(CacheRobustnessTest, StoreRefusesRaggedRows) {
 // byte-identical trace (determinism makes the comparison exact).
 TEST_F(CacheRobustnessTest, PipelineRegeneratesCorruptedArtifact) {
   setenv("XFA_CACHE_DIR", dir_.c_str(), 1);
+  refresh_env_for_testing();
   ScenarioConfig config;
   config.node_count = 15;
   config.duration = 150;

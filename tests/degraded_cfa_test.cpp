@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cfa/model.h"
+#include "common/env.h"
 #include "faults/plan.h"
 #include "ml/c45.h"
 #include "scenario/pipeline.h"
@@ -86,8 +87,14 @@ TEST(DegradedCfa, TrainDetectorCheckedRejectsEmptyTrace) {
 
 class DegradedPipelineTest : public ::testing::Test {
  protected:
-  void SetUp() override { setenv("XFA_NO_CACHE", "1", 1); }
-  void TearDown() override { unsetenv("XFA_NO_CACHE"); }
+  void SetUp() override {
+    setenv("XFA_NO_CACHE", "1", 1);
+    refresh_env_for_testing();
+  }
+  void TearDown() override {
+    unsetenv("XFA_NO_CACHE");
+    refresh_env_for_testing();
+  }
 
   static RawTrace faulty_normal_trace(std::uint64_t seed) {
     ScenarioConfig config;

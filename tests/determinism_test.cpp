@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include "common/env.h"
 
 #include "faults/plan.h"
 #include "scenario/runner.h"
@@ -30,8 +31,14 @@ std::string trace_bytes(const RawTrace& trace) {
 class DeterminismTest : public ::testing::Test {
  protected:
   // Force live simulation; a cache hit would make the comparison vacuous.
-  void SetUp() override { setenv("XFA_NO_CACHE", "1", 1); }
-  void TearDown() override { unsetenv("XFA_NO_CACHE"); }
+  void SetUp() override {
+    setenv("XFA_NO_CACHE", "1", 1);
+    refresh_env_for_testing();
+  }
+  void TearDown() override {
+    unsetenv("XFA_NO_CACHE");
+    refresh_env_for_testing();
+  }
 };
 
 ScenarioConfig small_config() {

@@ -1,0 +1,80 @@
+// End-to-end engine determinism: a registered bench plan must print the
+// exact same bytes whatever the shared pool size, cold cache or warm. This
+// is the executable form of the "--threads only changes wall-clock, never
+// bytes" contract in bench/registry.h and DESIGN.md §9.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "bench/registry.h"
+#include "common/env.h"
+#include "exec/thread_pool.h"
+
+namespace xfa {
+namespace {
+
+class EngineDeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "xfa_engine_determinism";
+    std::filesystem::remove_all(root_);
+    std::filesystem::create_directories(root_);
+    // Fast mode keeps the smoke traces small enough for the TSan pass.
+    setenv("XFA_FAST", "1", 1);
+  }
+  void TearDown() override {
+    std::filesystem::remove_all(root_);
+    unsetenv("XFA_FAST");
+    unsetenv("XFA_CACHE_DIR");
+    refresh_env_for_testing();
+    resize_shared_pool(1);
+  }
+
+  void use_cache_dir(const std::string& name) {
+    const std::string dir = root_ + "/" + name;
+    std::filesystem::create_directories(dir);
+    setenv("XFA_CACHE_DIR", dir.c_str(), 1);
+    refresh_env_for_testing();
+  }
+
+  static std::string run_plan(const bench::ExperimentPlan& plan) {
+    ::testing::internal::CaptureStdout();
+    const int code = plan.run();
+    std::string output = ::testing::internal::GetCapturedStdout();
+    EXPECT_EQ(code, 0);
+    return output;
+  }
+
+  std::string root_;
+};
+
+TEST_F(EngineDeterminismTest, SmokePlanIsByteIdenticalAcrossThreadCounts) {
+  const bench::ExperimentPlan* smoke = bench::find_plan("smoke");
+  ASSERT_NE(smoke, nullptr);
+
+  use_cache_dir("serial");
+  resize_shared_pool(1);
+  const std::string cold_serial = run_plan(*smoke);
+  ASSERT_FALSE(cold_serial.empty());
+  const std::string warm_serial = run_plan(*smoke);
+  EXPECT_EQ(cold_serial, warm_serial) << "warm cache changed the bytes";
+
+  use_cache_dir("parallel");  // fresh cache: a genuinely cold parallel run
+  resize_shared_pool(8);
+  const std::string cold_parallel = run_plan(*smoke);
+  EXPECT_EQ(cold_serial, cold_parallel) << "--threads=8 changed the bytes";
+  const std::string warm_parallel = run_plan(*smoke);
+  EXPECT_EQ(cold_serial, warm_parallel);
+}
+
+TEST_F(EngineDeterminismTest, RegistryListsTheCorePlans) {
+  for (const char* name : {"fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+                           "table1_3", "table4_6", "smoke"})
+    EXPECT_NE(bench::find_plan(name), nullptr) << name;
+  EXPECT_EQ(bench::find_plan("no-such-plan"), nullptr);
+}
+
+}  // namespace
+}  // namespace xfa

@@ -5,6 +5,7 @@
 
 #include <cstdlib>
 #include <string>
+#include "common/env.h"
 
 #include "faults/injector.h"
 #include "faults/plan.h"
@@ -117,10 +118,14 @@ TEST(FaultInjector, MonitorNodeIsNeverCrashed) {
 class FaultScenarioTest : public ::testing::Test {
  protected:
   // Force live simulation; cache hits would mask the injected chaos.
-  void SetUp() override { setenv("XFA_NO_CACHE", "1", 1); }
+  void SetUp() override {
+    setenv("XFA_NO_CACHE", "1", 1);
+    refresh_env_for_testing();
+  }
   void TearDown() override {
     unsetenv("XFA_NO_CACHE");
     unsetenv("XFA_SCENARIO_RETRIES");
+    refresh_env_for_testing();
   }
 };
 
@@ -164,6 +169,7 @@ TEST_F(FaultScenarioTest, DegenerateScenarioSurfacesAfterBoundedRetries) {
       << result.status().message();
 
   setenv("XFA_SCENARIO_RETRIES", "0", 1);
+  refresh_env_for_testing();
   const Result<ScenarioResult> no_retry = run_scenario_checked(config);
   ASSERT_FALSE(no_retry.ok());
   EXPECT_NE(no_retry.status().message().find("1 attempt"), std::string::npos)

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include "common/env.h"
 
 #include "scenario/cache.h"
 #include "scenario/pipeline.h"
@@ -174,9 +175,11 @@ TEST(RunScenarioTest, DeterministicAcrossRuns) {
   ScenarioConfig config = small_config();
   config.seed = 99;  // avoid cache interference from other tests
   setenv("XFA_NO_CACHE", "1", 1);
+  refresh_env_for_testing();
   const ScenarioResult a = run_scenario(config);
   const ScenarioResult b = run_scenario(config);
   unsetenv("XFA_NO_CACHE");
+  refresh_env_for_testing();
   ASSERT_EQ(a.trace.size(), b.trace.size());
   for (std::size_t i = 0; i < a.trace.size(); ++i)
     EXPECT_EQ(a.trace.rows[i], b.trace.rows[i]) << "row " << i;

@@ -16,6 +16,10 @@
 //   cmake-registered  Every .cpp under src/ appears in src/CMakeLists.txt,
 //                     so no translation unit silently drops out of the build
 //                     (and out of clang-tidy / sanitizer coverage).
+//   exec-only-threads No raw std::thread / std::jthread / std::async outside
+//                     src/exec — all concurrency goes through the shared
+//                     execution layer (ThreadPool, TaskGroup, parallel_for),
+//                     which owns the determinism and nested-wait guarantees.
 //   status-not-abort  Recoverable I/O paths under src/scenario/ — any TU
 //                     there that touches the filesystem (<fstream>,
 //                     <filesystem>, <cstdio>) — must not use XFA_CHECK /
@@ -129,6 +133,25 @@ void check_pragma_once(const fs::path& file,
   report(file, 1, "pragma-once", "empty header missing #pragma once");
 }
 
+void check_exec_only_threads(const fs::path& file, const fs::path& rel,
+                             const std::vector<std::string>& lines) {
+  // The execution layer is the one place allowed to spawn threads.
+  if (rel.generic_string().rfind("exec/", 0) == 0) return;
+  static const char* const kBanned[] = {"std::thread", "std::jthread",
+                                        "std::async"};
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    for (const char* token : kBanned) {
+      if (contains_token(lines[i], token)) {
+        report(file, i + 1, "exec-only-threads",
+               std::string("'") + token +
+                   "' bypasses the shared execution layer; use ThreadPool / "
+                   "TaskGroup / parallel_for (src/exec) so scheduling stays "
+                   "deterministic and nested waits cannot deadlock");
+      }
+    }
+  }
+}
+
 void check_status_not_abort(const fs::path& file, const fs::path& rel,
                             const std::vector<std::string>& lines) {
   if (rel.generic_string().rfind("scenario/", 0) != 0) return;
@@ -193,6 +216,7 @@ int main(int argc, char** argv) {
 
     check_determinism(file, rel, lines);
     check_no_raw_assert(file, lines);
+    check_exec_only_threads(file, rel, lines);
     check_status_not_abort(file, rel, lines);
     if (ext == ".h") check_pragma_once(file, lines);
     if (ext == ".cpp") check_cmake_registered(file, rel, cmake_text);
