@@ -24,6 +24,10 @@ run_pass() {
   cmake --build "${build_dir}" -j "${JOBS}"
   echo "=== ${name}: lint ==="
   ctest --test-dir "${build_dir}" -R xfa_lint --output-on-failure
+  echo "=== ${name}: simulation-core hot-path smoke ==="
+  # Correctness smoke, not a benchmark: every kernel self-checks (grid vs
+  # brute force, scheduler counters, memoization identity) under XFA_CHECK.
+  "${build_dir}/bench/xfa_microbench" --quick
   echo "=== ${name}: ctest ==="
   ctest --test-dir "${build_dir}" -j "${JOBS}" --output-on-failure
 }

@@ -16,8 +16,14 @@ struct Vec2 {
   friend bool operator==(Vec2 a, Vec2 b) { return a.x == b.x && a.y == b.y; }
 
   double norm() const { return std::hypot(x, y); }
+
+  /// Squared length; the hot paths compare squared distances against a
+  /// squared radius to avoid the hypot/sqrt.
+  double norm2() const { return x * x + y * y; }
 };
 
 inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+inline double distance2(Vec2 a, Vec2 b) { return (a - b).norm2(); }
 
 }  // namespace xfa

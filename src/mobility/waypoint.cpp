@@ -14,6 +14,7 @@ RandomWaypointMobility::RandomWaypointMobility(std::size_t node_count,
   XFA_CHECK_LE(config.min_speed, config.max_speed);
   nodes_.reserve(node_count);
   node_rngs_.reserve(node_count);
+  last_query_.resize(node_count);
   for (std::size_t i = 0; i < node_count; ++i) {
     node_rngs_.push_back(rng_.fork());
     Segment s;
@@ -43,8 +44,8 @@ RandomWaypointMobility::Segment RandomWaypointMobility::next_segment(
     s.dest = {rng.uniform(0, config_.field_width),
               rng.uniform(0, config_.field_height)};
     s.speed = rng.uniform(config_.min_speed, config_.max_speed);
-    const double dist = distance(s.start, s.dest);
-    s.end_time = s.start_time + (dist > 0 ? dist / s.speed : 0);
+    s.length = distance(s.start, s.dest);
+    s.end_time = s.start_time + (s.length > 0 ? s.length / s.speed : 0);
   }
   return s;
 }
@@ -56,16 +57,24 @@ void RandomWaypointMobility::advance(std::size_t node, SimTime t) const {
 
 Vec2 RandomWaypointMobility::position(NodeId node, SimTime t) const {
   XFA_CHECK(node >= 0 && static_cast<std::size_t>(node) < nodes_.size());
-  advance(static_cast<std::size_t>(node), t);
-  const Segment& s = nodes_[static_cast<std::size_t>(node)];
+  const auto index = static_cast<std::size_t>(node);
+  CachedQuery& cached = last_query_[index];
+  if (cached.t == t) return cached.position;
+  advance(index, t);
+  const Segment& s = nodes_[index];
   // Queries are expected to be (per node) non-decreasing in time; a query
   // earlier than the current segment is clamped to the segment start.
   const SimTime ct = std::clamp(t, s.start_time, s.end_time);
-  if (s.speed == 0) return s.start;
-  const double total = distance(s.start, s.dest);
-  if (total == 0) return s.start;
-  const double frac = s.speed * (ct - s.start_time) / total;
-  return s.start + (s.dest - s.start) * std::min(frac, 1.0);
+  Vec2 pos = s.start;
+  if (s.speed != 0) {
+    const double total = s.length;
+    if (total != 0) {
+      const double frac = s.speed * (ct - s.start_time) / total;
+      pos = s.start + (s.dest - s.start) * std::min(frac, 1.0);
+    }
+  }
+  cached = CachedQuery{t, pos};
+  return pos;
 }
 
 double RandomWaypointMobility::speed(NodeId node, SimTime t) const {

@@ -58,6 +58,20 @@ class RandomWaypointMobility final : public MobilityModel {
     Vec2 dest;
     double speed = 0;        // m/s; 0 == pausing
     SimTime end_time = 0;    // when this segment completes
+    // distance(start, dest), computed once at segment creation so the
+    // per-query interpolation needs no hypot. Same double value as the
+    // removed recomputation, so interpolated positions are bit-identical.
+    double length = 0;
+  };
+  // Memoized last position query. Valid because per-node queries are
+  // non-decreasing in time: a repeat of the cached time cannot have been
+  // preceded by a later query, so the cached value is still the trajectory's
+  // value at that time. The channel hits this cache hard — one transmit
+  // evaluates the sender plus every candidate receiver at the same instant,
+  // and the neighbor grid re-confirms candidates it just positioned.
+  struct CachedQuery {
+    SimTime t = -1;  // sentinel: queries are at t >= 0
+    Vec2 position;
   };
 
   // Advances the node's segment chain up to time t (const-lazy: mutable).
@@ -70,6 +84,7 @@ class RandomWaypointMobility final : public MobilityModel {
   // which other nodes' positions are queried.
   mutable std::vector<Rng> node_rngs_;
   mutable std::vector<Segment> nodes_;
+  mutable std::vector<CachedQuery> last_query_;
 };
 
 }  // namespace xfa

@@ -1,5 +1,8 @@
 #include "net/channel.h"
 
+#include <memory>
+#include <utility>
+
 #include "common/check.h"
 #include "net/node.h"
 
@@ -7,7 +10,11 @@ namespace xfa {
 
 Channel::Channel(Simulator& sim, const MobilityModel& mobility,
                  const ChannelConfig& config)
-    : sim_(sim), mobility_(mobility), config_(config), rng_(sim.fork_rng()) {
+    : sim_(sim),
+      mobility_(mobility),
+      config_(config),
+      rng_(sim.fork_rng()),
+      index_(mobility, config.range_m, config.max_node_speed) {
   XFA_CHECK(config.range_m > 0 && config.bandwidth_bps > 0);
   XFA_CHECK(config.loss_rate >= 0 && config.loss_rate < 1);
 }
@@ -16,21 +23,19 @@ void Channel::register_node(Node& node) {
   XFA_CHECK(node.id() == static_cast<NodeId>(nodes_.size()))
       << "nodes must register in id order";
   nodes_.push_back(&node);
+  index_.set_node_count(nodes_.size());
 }
 
 bool Channel::in_range(NodeId a, NodeId b) const {
   if (a == b) return false;
   const SimTime t = sim_.now();
-  return distance(mobility_.position(a, t), mobility_.position(b, t)) <=
-         config_.range_m;
+  return distance2(mobility_.position(a, t), mobility_.position(b, t)) <=
+         config_.range_m * config_.range_m;
 }
 
 std::vector<NodeId> Channel::neighbors(NodeId node) const {
   std::vector<NodeId> out;
-  for (const Node* other : nodes_) {
-    if (other->id() != node && in_range(node, other->id()))
-      out.push_back(other->id());
-  }
+  index_.in_range_of(node, sim_.now(), out);
   return out;
 }
 
@@ -55,12 +60,20 @@ void Channel::transmit(NodeId from, Packet pkt, NodeId to) {
 
   const SimTime delay =
       transmission_delay(pkt) + rng_.uniform(0, config_.max_jitter_s);
+  // One immutable packet shared by every receiver/tap/link-failure event
+  // scheduled below (zero-copy fan-out): lambdas capture a refcount bump
+  // instead of a deep copy of the vector-bearing routing headers.
+  const PacketPtr shared = std::make_shared<const Packet>(std::move(pkt));
   // Connectivity is evaluated at transmit time; at these speeds nodes move
   // < 1 mm within the delay, so this matches evaluating at arrival time.
+  // The grid-pruned receiver set is exact and in ascending node-id order —
+  // the per-receiver RNG draws below must happen in that order to keep
+  // traces byte-identical.
+  receiver_scratch_.clear();
+  index_.in_range_of(from, sim_.now(), receiver_scratch_);
   bool unicast_delivered = false;
-  for (Node* receiver : nodes_) {
-    const NodeId rid = receiver->id();
-    if (rid == from || !in_range(from, rid)) continue;
+  for (const NodeId rid : receiver_scratch_) {
+    Node* receiver = nodes_[static_cast<std::size_t>(rid)];
     if (faults_ != nullptr &&
         (faults_->node_down(rid) || faults_->link_down(from, rid))) {
       ++stats_.fault_link_drops;
@@ -88,22 +101,23 @@ void Channel::transmit(NodeId from, Packet pkt, NodeId to) {
     if (to == kBroadcast || rid == to) {
       if (rid == to) unicast_delivered = true;
       ++stats_.deliveries;
-      sim_.after(rx_delay, [receiver, pkt, from] {
-        receiver->deliver(pkt, from);
+      sim_.after(rx_delay, [receiver, shared, from] {
+        receiver->deliver(shared, from);
       });
       // MAC retransmission whose ACK was lost: the receiver sees the frame
       // twice, slightly reordered against other traffic.
       if (faults_ != nullptr && faults_->duplicates_delivery()) {
         ++stats_.fault_duplicates;
         ++stats_.deliveries;
-        sim_.after(rx_delay + faults_->extra_delay(), [receiver, pkt, from] {
-          receiver->deliver(pkt, from);
-        });
+        sim_.after(rx_delay + faults_->extra_delay(),
+                   [receiver, shared, from] {
+                     receiver->deliver(shared, from);
+                   });
       }
     } else if (config_.promiscuous_taps) {
       ++stats_.taps;
-      sim_.after(rx_delay, [receiver, pkt, from, to] {
-        receiver->overhear(pkt, from, to);
+      sim_.after(rx_delay, [receiver, shared, from, to] {
+        receiver->overhear(*shared, from, to);
       });
     }
   }
@@ -113,7 +127,7 @@ void Channel::transmit(NodeId from, Packet pkt, NodeId to) {
     Node* sender = nodes_[static_cast<std::size_t>(from)];
     // Missing-ACK detection takes roughly one retry round at the MAC.
     sim_.after(delay + 0.01,
-               [sender, pkt, to] { sender->link_failure(pkt, to); });
+               [sender, shared, to] { sender->link_failure(*shared, to); });
   }
 }
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "mobility/waypoint.h"
+#include "net/neighbor_index.h"
 #include "net/packet.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
@@ -50,6 +51,13 @@ struct ChannelConfig {
   // "notice" mechanism; AODV ignores taps, so runners disable them there to
   // keep the event count down.
   bool promiscuous_taps = true;
+  // Upper bound (m/s) on how fast any node's position can change; enables
+  // the spatial neighbor grid (see net/neighbor_index.h). Negative (the
+  // default) disables the grid and keeps the exact linear scan — required
+  // for mobility models without a speed bound, e.g. teleporting
+  // StaticPositions::move(). The scenario runner sets this from the
+  // waypoint model's configured max speed.
+  double max_node_speed = -1.0;
 };
 
 /// Channel statistics, global across all nodes (diagnostics and tests).
@@ -84,6 +92,9 @@ class Channel {
   bool in_range(NodeId a, NodeId b) const;
   std::vector<NodeId> neighbors(NodeId node) const;
 
+  /// Grid/pruning diagnostics (microbench, property tests).
+  const NeighborIndex& neighbor_index() const { return index_; }
+
   std::size_t node_count() const { return nodes_.size(); }
   const ChannelStats& stats() const { return stats_; }
   const ChannelConfig& config() const { return config_; }
@@ -107,6 +118,9 @@ class Channel {
   ChannelStats stats_;
   std::uint64_t last_uid_ = 0;
   FaultModel* faults_ = nullptr;
+  NeighborIndex index_;
+  // Reused per transmit: the exact in-range receiver set, ascending ids.
+  mutable std::vector<NodeId> receiver_scratch_;
 };
 
 }  // namespace xfa

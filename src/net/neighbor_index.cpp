@@ -1,0 +1,97 @@
+#include "net/neighbor_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace xfa {
+
+NeighborIndex::NeighborIndex(const MobilityModel& mobility, double range_m,
+                             double max_speed)
+    : mobility_(mobility),
+      range_m_(range_m),
+      range2_(range_m * range_m),
+      max_speed_(max_speed),
+      // One cell per radio range keeps the query to at most a handful of
+      // cell lookups while still pruning well over half the field on the
+      // paper's 1000x1000m / 250m-range topology.
+      cell_size_(range_m),
+      // Rebuild once nodes may have drifted a quarter range (3.1 simulated
+      // seconds at the paper's 20 m/s): the query disc then never widens
+      // beyond 1.25x range, and the O(N) rebuild amortizes over the hundreds
+      // of transmissions in between.
+      slack_budget_(range_m * 0.25) {
+  XFA_CHECK_GT(range_m, 0);
+}
+
+std::int32_t NeighborIndex::cell_coord(double v) const {
+  return static_cast<std::int32_t>(std::floor(v / cell_size_));
+}
+
+void NeighborIndex::rebuild(SimTime t) const {
+  cells_.clear();
+  for (std::size_t i = 0; i < node_count_; ++i) {
+    const auto id = static_cast<NodeId>(i);
+    const Vec2 pos = mobility_.position(id, t);
+    cells_[cell_key(cell_coord(pos.x), cell_coord(pos.y))].push_back(id);
+  }
+  built_ = true;
+  built_at_ = t;
+  indexed_nodes_ = node_count_;
+  ++stats_.rebuilds;
+}
+
+void NeighborIndex::in_range_of(NodeId self, SimTime t,
+                                std::vector<NodeId>& out) const {
+  ++stats_.queries;
+  const Vec2 center = mobility_.position(self, t);
+
+  if (!enabled()) {
+    // Exact linear scan: the pre-grid behavior, kept for mobility models
+    // without a speed bound (e.g. teleporting test topologies).
+    for (std::size_t i = 0; i < node_count_; ++i) {
+      const auto id = static_cast<NodeId>(i);
+      if (id == self) continue;
+      ++stats_.candidates;
+      if (distance2(center, mobility_.position(id, t)) <= range2_) {
+        ++stats_.confirmed;
+        out.push_back(id);
+      }
+    }
+    return;
+  }
+
+  if (!built_ || indexed_nodes_ != node_count_ ||
+      (t - built_at_) * max_speed_ > slack_budget_) {
+    rebuild(t);
+  }
+  // Every node is within `slack` of its bucketed position, so the true
+  // neighbors of `center` all sit in cells intersecting the widened disc.
+  const double reach = range_m_ + (t - built_at_) * max_speed_;
+  const std::int32_t cx0 = cell_coord(center.x - reach);
+  const std::int32_t cx1 = cell_coord(center.x + reach);
+  const std::int32_t cy0 = cell_coord(center.y - reach);
+  const std::int32_t cy1 = cell_coord(center.y + reach);
+  scratch_.clear();
+  for (std::int32_t cy = cy0; cy <= cy1; ++cy) {
+    for (std::int32_t cx = cx0; cx <= cx1; ++cx) {
+      const auto it = cells_.find(cell_key(cx, cy));
+      if (it == cells_.end()) continue;
+      scratch_.insert(scratch_.end(), it->second.begin(), it->second.end());
+    }
+  }
+  // Ascending id order is load-bearing: the channel draws per-receiver RNG
+  // decisions in this order, so it is part of the byte-identity contract.
+  std::sort(scratch_.begin(), scratch_.end());
+  for (const NodeId id : scratch_) {
+    if (id == self) continue;
+    ++stats_.candidates;
+    if (distance2(center, mobility_.position(id, t)) <= range2_) {
+      ++stats_.confirmed;
+      out.push_back(id);
+    }
+  }
+}
+
+}  // namespace xfa

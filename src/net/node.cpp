@@ -28,9 +28,13 @@ void Node::send_data(NodeId dst, std::uint32_t flow_id, std::uint32_t seq,
   routing_->send_data(std::move(pkt));
 }
 
-void Node::deliver(Packet pkt, NodeId from) {
+void Node::deliver(PacketPtr pkt, NodeId from) {
   XFA_CHECK_NE(routing_, nullptr);
   routing_->receive(std::move(pkt), from);
+}
+
+void Node::deliver(Packet pkt, NodeId from) {
+  deliver(std::make_shared<const Packet>(std::move(pkt)), from);
 }
 
 void Node::overhear(const Packet& pkt, NodeId from, NodeId to) {

@@ -29,7 +29,9 @@ class RoutingProtocol {
   virtual void send_data(Packet&& pkt) = 0;
 
   /// A packet addressed to this node (unicast to us, or broadcast) arrived.
-  virtual void receive(Packet pkt, NodeId from) = 0;
+  /// The handle is shared across the transmission's receivers; copy the
+  /// packet (`Packet copy = *pkt;`) before mutating it for a relay.
+  virtual void receive(PacketPtr pkt, NodeId from) = 0;
 
   /// Promiscuous overhear of a unicast between two other nodes.
   virtual void tap(const Packet& pkt, NodeId from, NodeId to) {
@@ -93,7 +95,10 @@ class Node {
   void send_data(NodeId dst, std::uint32_t flow_id, std::uint32_t seq,
                  std::uint32_t bytes, bool is_ack);
 
-  /// Channel delivery entry points.
+  /// Channel delivery entry points. The PacketPtr overload is the zero-copy
+  /// fan-out path; the by-value overload wraps for callers (tests) that
+  /// originate a fresh packet.
+  void deliver(PacketPtr pkt, NodeId from);
   void deliver(Packet pkt, NodeId from);
   void overhear(const Packet& pkt, NodeId from, NodeId to);
   void link_failure(const Packet& pkt, NodeId to);

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <variant>
 #include <vector>
@@ -133,6 +134,14 @@ struct Packet {
   /// Debug rendering, e.g. "RREQ 3->7 ttl=12".
   std::string describe() const;
 };
+
+/// Shared immutable packet handle: the channel allocates one const Packet
+/// per transmission and every receiver/tap/link-failure lambda shares it
+/// (zero-copy fan-out) instead of each deep-copying the vector-bearing
+/// routing headers. Receivers copy-on-write only when they mutate (TTL
+/// decrement, route accumulation); pure readers — duplicate-flood drops,
+/// final delivery, promiscuous taps — never copy.
+using PacketPtr = std::shared_ptr<const Packet>;
 
 /// Default packet sizes (bytes), matching typical ns-2 setups.
 inline constexpr std::uint32_t kDataPacketBytes = 512;

@@ -111,33 +111,33 @@ void Aodv::start_discovery(NodeId dst, int retries_left,
   });
 }
 
-void Aodv::receive(Packet pkt, NodeId from) {
-  switch (pkt.kind) {
+void Aodv::receive(PacketPtr pkt, NodeId from) {
+  switch (pkt->kind) {
     case PacketKind::RouteRequest:
       node_.log_packet(AuditPacketType::RouteRequest, FlowDirection::Received);
-      handle_rreq(std::move(pkt), from);
+      handle_rreq(*pkt, from);
       break;
     case PacketKind::RouteReply:
       node_.log_packet(AuditPacketType::RouteReply, FlowDirection::Received);
-      handle_rrep(std::move(pkt), from);
+      handle_rrep(*pkt, from);
       break;
     case PacketKind::RouteError:
       node_.log_packet(AuditPacketType::RouteError, FlowDirection::Received);
-      handle_rerr(std::move(pkt), from);
+      handle_rerr(*pkt, from);
       break;
     case PacketKind::Hello:
       node_.log_packet(AuditPacketType::Hello, FlowDirection::Received);
-      handle_hello(pkt, from);
+      handle_hello(*pkt, from);
       break;
     case PacketKind::Data:
-      handle_data(std::move(pkt), from);
+      handle_data(*pkt, from);
       break;
   }
 }
 
-void Aodv::handle_rreq(Packet pkt, NodeId from) {
+void Aodv::handle_rreq(const Packet& pkt, NodeId from) {
   const SimTime now = node_.sim().now();
-  auto& header = std::get<AodvRreqHeader>(pkt.header);
+  const auto& header = std::get<AodvRreqHeader>(pkt.header);
 
   // Install/refresh the reverse route to the originator through the sender.
   // This is the state the black hole poisons with a forged max seqno.
@@ -170,16 +170,17 @@ void Aodv::handle_rreq(Packet pkt, NodeId from) {
     return;
   }
 
-  // Otherwise relay the flood.
+  // Otherwise relay the flood. Copy-on-write: the shared packet stays
+  // untouched for the other receivers of this broadcast.
   if (pkt.ttl <= 1) {
     node_.log_packet(AuditPacketType::RouteRequest, FlowDirection::Dropped);
     return;
   }
-  --pkt.ttl;
-  ++header.hop_count;
+  Packet relay = pkt;
+  --relay.ttl;
+  ++std::get<AodvRreqHeader>(relay.header).hop_count;
   node_.log_packet(AuditPacketType::RouteRequest, FlowDirection::Forwarded);
   ++stats_.control_forwarded;
-  Packet relay = std::move(pkt);
   node_.sim().after(rng_.uniform(0, config_.forward_jitter_s),
                     [this, relay = std::move(relay)]() mutable {
                       node_.channel().transmit(node_.id(), std::move(relay),
@@ -216,9 +217,9 @@ void Aodv::send_rrep(const AodvRreqHeader& rreq, NodeId reply_to,
   node_.channel().transmit(node_.id(), std::move(pkt), reply_to);
 }
 
-void Aodv::handle_rrep(Packet pkt, NodeId from) {
+void Aodv::handle_rrep(const Packet& pkt, NodeId from) {
   const SimTime now = node_.sim().now();
-  auto& header = std::get<AodvRrepHeader>(pkt.header);
+  const auto& header = std::get<AodvRrepHeader>(pkt.header);
   neighbor_last_heard_[from] = now;
 
   // Install/refresh the forward route to the target through the sender.
@@ -235,20 +236,21 @@ void Aodv::handle_rrep(Packet pkt, NodeId from) {
     return;
   }
 
-  // Relay toward the originator along the reverse route.
+  // Relay toward the originator along the reverse route (copy-on-write).
   const AodvRouteEntry* back = table_.lookup(header.origin, now);
   if (back == nullptr || pkt.ttl <= 1) {
     node_.log_packet(AuditPacketType::RouteReply, FlowDirection::Dropped);
     return;
   }
-  --pkt.ttl;
-  ++header.hop_count;
+  Packet relay = pkt;
+  --relay.ttl;
+  ++std::get<AodvRrepHeader>(relay.header).hop_count;
   node_.log_packet(AuditPacketType::RouteReply, FlowDirection::Forwarded);
   ++stats_.control_forwarded;
-  node_.channel().transmit(node_.id(), std::move(pkt), back->next_hop);
+  node_.channel().transmit(node_.id(), std::move(relay), back->next_hop);
 }
 
-void Aodv::handle_rerr(Packet pkt, NodeId from) {
+void Aodv::handle_rerr(const Packet& pkt, NodeId from) {
   const SimTime now = node_.sim().now();
   const auto& header = std::get<AodvRerrHeader>(pkt.header);
 
@@ -288,7 +290,7 @@ void Aodv::handle_hello(const Packet& pkt, NodeId from) {
   log_route_update(update, /*learned_passively=*/true);
 }
 
-void Aodv::handle_data(Packet pkt, NodeId from) {
+void Aodv::handle_data(const Packet& pkt, NodeId from) {
   (void)from;
   const SimTime now = node_.sim().now();
   if (pkt.dst == node_.id()) {
@@ -315,10 +317,11 @@ void Aodv::handle_data(Packet pkt, NodeId from) {
     node_.log_packet(AuditPacketType::RouteAll, FlowDirection::Dropped);
     return;
   }
-  --pkt.ttl;
+  Packet relay = pkt;  // copy-on-write off the shared broadcast handle
+  --relay.ttl;
   node_.log_packet(AuditPacketType::RouteAll, FlowDirection::Forwarded);
   ++stats_.data_forwarded;
-  forward_data(std::move(pkt), *route);
+  forward_data(std::move(relay), *route);
 }
 
 void Aodv::forward_data(Packet&& pkt, const AodvRouteEntry& route) {

@@ -36,7 +36,7 @@ class Aodv final : public RoutingProtocol {
 
   void start() override;
   void send_data(Packet&& pkt) override;
-  void receive(Packet pkt, NodeId from) override;
+  void receive(PacketPtr pkt, NodeId from) override;
   void link_failure(const Packet& pkt, NodeId to) override;
   double average_route_length() const override;
   std::size_t route_count() const override;
@@ -52,11 +52,13 @@ class Aodv final : public RoutingProtocol {
 
  private:
   void start_discovery(NodeId dst, int retries_left, std::uint32_t attempt_id);
-  void handle_rreq(Packet pkt, NodeId from);
-  void handle_rrep(Packet pkt, NodeId from);
-  void handle_rerr(Packet pkt, NodeId from);
+  // Handlers read the shared (zero-copy fan-out) packet through a const ref
+  // and deep-copy only on the relay paths that mutate ttl / hop counts.
+  void handle_rreq(const Packet& pkt, NodeId from);
+  void handle_rrep(const Packet& pkt, NodeId from);
+  void handle_rerr(const Packet& pkt, NodeId from);
   void handle_hello(const Packet& pkt, NodeId from);
-  void handle_data(Packet pkt, NodeId from);
+  void handle_data(const Packet& pkt, NodeId from);
   void send_rrep(const AodvRreqHeader& rreq, NodeId reply_to, bool from_cache,
                  SimTime now);
   void send_rerr(std::vector<std::pair<NodeId, SeqNo>> unreachable);

@@ -132,34 +132,34 @@ void Dsr::start_discovery(NodeId dst, int retries_left,
   });
 }
 
-void Dsr::receive(Packet pkt, NodeId from) {
-  switch (pkt.kind) {
+void Dsr::receive(PacketPtr pkt, NodeId from) {
+  switch (pkt->kind) {
     case PacketKind::RouteRequest:
       node_.log_packet(AuditPacketType::RouteRequest, FlowDirection::Received);
-      handle_rreq(std::move(pkt), from);
+      handle_rreq(*pkt, from);
       break;
     case PacketKind::RouteReply:
       node_.log_packet(AuditPacketType::RouteReply, FlowDirection::Received);
-      handle_rrep(std::move(pkt), from);
+      handle_rrep(*pkt, from);
       break;
     case PacketKind::RouteError:
       node_.log_packet(AuditPacketType::RouteError, FlowDirection::Received);
-      handle_rerr(std::move(pkt), from);
+      handle_rerr(*pkt, from);
       break;
     case PacketKind::Hello:
       // DSR has no HELLO beacons; ignore stray ones.
       node_.log_packet(AuditPacketType::Hello, FlowDirection::Received);
       break;
     case PacketKind::Data:
-      handle_data(std::move(pkt), from);
+      handle_data(*pkt, from);
       break;
   }
 }
 
-void Dsr::handle_rreq(Packet pkt, NodeId from) {
+void Dsr::handle_rreq(const Packet& pkt, NodeId from) {
   (void)from;
   const SimTime now = node_.sim().now();
-  auto& header = std::get<DsrRreqHeader>(pkt.header);
+  const auto& header = std::get<DsrRreqHeader>(pkt.header);
   if (header.origin == node_.id()) return;
   if (contains(header.route_so_far, node_.id())) return;
 
@@ -243,15 +243,17 @@ void Dsr::handle_rreq(Packet pkt, NodeId from) {
   }
 
   // Relay the flood, appending ourselves to the accumulated route.
+  // Copy-on-write: the shared broadcast handle stays untouched for the
+  // other receivers of this transmission.
   if (pkt.ttl <= 1) {
     node_.log_packet(AuditPacketType::RouteRequest, FlowDirection::Dropped);
     return;
   }
-  --pkt.ttl;
-  header.route_so_far.push_back(node_.id());
+  Packet relay = pkt;
+  --relay.ttl;
+  std::get<DsrRreqHeader>(relay.header).route_so_far.push_back(node_.id());
   node_.log_packet(AuditPacketType::RouteRequest, FlowDirection::Forwarded);
   ++stats_.control_forwarded;
-  Packet relay = std::move(pkt);
   node_.sim().after(rng_.uniform(0, config_.forward_jitter_s),
                     [this, relay = std::move(relay)]() mutable {
                       node_.channel().transmit(node_.id(), std::move(relay),
@@ -259,9 +261,9 @@ void Dsr::handle_rreq(Packet pkt, NodeId from) {
                     });
 }
 
-void Dsr::handle_rrep(Packet pkt, NodeId from) {
+void Dsr::handle_rrep(const Packet& pkt, NodeId from) {
   (void)from;
-  auto& header = std::get<DsrRrepHeader>(pkt.header);
+  const auto& header = std::get<DsrRrepHeader>(pkt.header);
 
   // Learn from the discovered route.
   const auto self_it =
@@ -282,21 +284,23 @@ void Dsr::handle_rrep(Packet pkt, NodeId from) {
   }
 
   // Relay along the travel path: we must be the current holder and there
-  // must be a next hop.
+  // must be a next hop. Copy-on-write before advancing the cursor.
   if (header.travel_cursor + 1 >= header.travel.size() ||
       header.travel[header.travel_cursor] != node_.id()) {
     node_.log_packet(AuditPacketType::RouteReply, FlowDirection::Dropped);
     return;
   }
-  const NodeId next = header.travel[++header.travel_cursor];
+  Packet relay = pkt;
+  auto& relay_header = std::get<DsrRrepHeader>(relay.header);
+  const NodeId next = relay_header.travel[++relay_header.travel_cursor];
   node_.log_packet(AuditPacketType::RouteReply, FlowDirection::Forwarded);
   ++stats_.control_forwarded;
-  node_.channel().transmit(node_.id(), std::move(pkt), next);
+  node_.channel().transmit(node_.id(), std::move(relay), next);
 }
 
-void Dsr::handle_rerr(Packet pkt, NodeId from) {
+void Dsr::handle_rerr(const Packet& pkt, NodeId from) {
   (void)from;
-  auto& header = std::get<DsrRerrHeader>(pkt.header);
+  const auto& header = std::get<DsrRerrHeader>(pkt.header);
   const std::size_t removed = cache_.remove_link(
       header.broken_from, header.broken_to, node_.id());
   for (std::size_t i = 0; i < removed; ++i)
@@ -308,19 +312,21 @@ void Dsr::handle_rerr(Packet pkt, NodeId from) {
     node_.log_packet(AuditPacketType::RouteError, FlowDirection::Dropped);
     return;
   }
-  const NodeId next = header.travel[++header.travel_cursor];
+  Packet relay = pkt;  // copy-on-write before advancing the cursor
+  auto& relay_header = std::get<DsrRerrHeader>(relay.header);
+  const NodeId next = relay_header.travel[++relay_header.travel_cursor];
   node_.log_packet(AuditPacketType::RouteError, FlowDirection::Forwarded);
   ++stats_.control_forwarded;
-  node_.channel().transmit(node_.id(), std::move(pkt), next);
+  node_.channel().transmit(node_.id(), std::move(relay), next);
 }
 
-void Dsr::handle_data(Packet pkt, NodeId from) {
+void Dsr::handle_data(const Packet& pkt, NodeId from) {
   (void)from;
   if (pkt.dst == node_.id()) {
     node_.deliver_to_transport(pkt);
     return;
   }
-  auto* route = std::get_if<DsrSourceRoute>(&pkt.header);
+  const auto* route = std::get_if<DsrSourceRoute>(&pkt.header);
   if (route == nullptr || route->cursor >= route->hops.size() ||
       route->hops[route->cursor] != node_.id()) {
     node_.log_packet(AuditPacketType::RouteAll, FlowDirection::Dropped);
@@ -338,11 +344,13 @@ void Dsr::handle_data(Packet pkt, NodeId from) {
     node_.log_packet(AuditPacketType::RouteAll, FlowDirection::Dropped);
     return;
   }
-  ++route->cursor;
-  const NodeId next = route->hops[route->cursor];
+  Packet relay = pkt;  // copy-on-write before advancing the cursor
+  auto& relay_route = std::get<DsrSourceRoute>(relay.header);
+  ++relay_route.cursor;
+  const NodeId next = relay_route.hops[relay_route.cursor];
   node_.log_packet(AuditPacketType::RouteAll, FlowDirection::Forwarded);
   ++stats_.data_forwarded;
-  node_.channel().transmit(node_.id(), std::move(pkt), next);
+  node_.channel().transmit(node_.id(), std::move(relay), next);
 }
 
 void Dsr::tap(const Packet& pkt, NodeId from, NodeId to) {

@@ -36,7 +36,7 @@ class Dsr final : public RoutingProtocol {
 
   void start() override;
   void send_data(Packet&& pkt) override;
-  void receive(Packet pkt, NodeId from) override;
+  void receive(PacketPtr pkt, NodeId from) override;
   void tap(const Packet& pkt, NodeId from, NodeId to) override;
   void link_failure(const Packet& pkt, NodeId to) override;
   double average_route_length() const override;
@@ -53,10 +53,12 @@ class Dsr final : public RoutingProtocol {
 
  private:
   void start_discovery(NodeId dst, int retries_left, std::uint32_t attempt_id);
-  void handle_rreq(Packet pkt, NodeId from);
-  void handle_rrep(Packet pkt, NodeId from);
-  void handle_rerr(Packet pkt, NodeId from);
-  void handle_data(Packet pkt, NodeId from);
+  // Handlers read the shared (zero-copy fan-out) packet through a const ref
+  // and deep-copy only on the relay paths that mutate it.
+  void handle_rreq(const Packet& pkt, NodeId from);
+  void handle_rrep(const Packet& pkt, NodeId from);
+  void handle_rerr(const Packet& pkt, NodeId from);
+  void handle_data(const Packet& pkt, NodeId from);
   void flush_buffer(NodeId dst);
   /// Attaches the best cached source route and transmits. Returns false when
   /// no route is cached.

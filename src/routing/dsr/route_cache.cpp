@@ -6,6 +6,22 @@
 
 namespace xfa {
 
+void DsrRouteCache::index_links(const std::vector<NodeId>& hops, int delta) {
+  XFA_DCHECK(!hops.empty());
+  const auto adjust = [delta](auto& refs, auto key) {
+    if (delta > 0) {
+      ++refs[key];
+    } else {
+      const auto it = refs.find(key);
+      XFA_DCHECK(it != refs.end() && it->second > 0);
+      if (--it->second == 0) refs.erase(it);
+    }
+  };
+  adjust(first_hop_refs_, hops.front());
+  for (std::size_t i = 0; i + 1 < hops.size(); ++i)
+    adjust(link_refs_, link_key(hops[i], hops[i + 1]));
+}
+
 bool DsrRouteCache::add_path(std::vector<NodeId> hops, SeqNo freshness,
                              SimTime now) {
   if (hops.empty()) return false;
@@ -31,9 +47,12 @@ bool DsrRouteCache::add_path(std::vector<NodeId> hops, SeqNo freshness,
             return a.hops.size() > b.hops.size();
           return a.learned_at < b.learned_at;
         });
+    index_links(worst->hops, -1);
+    index_links(hops, +1);
     *worst = DsrCachePath{std::move(hops), freshness, now};
     return true;
   }
+  index_links(hops, +1);
   paths.push_back(DsrCachePath{std::move(hops), freshness, now});
   return true;
 }
@@ -54,12 +73,23 @@ const DsrCachePath* DsrRouteCache::best_path(NodeId dst, SimTime now) const {
 }
 
 std::size_t DsrRouteCache::remove_link(NodeId from, NodeId to, NodeId owner) {
+  // O(1) rejection for the common case: DSR calls this for every overheard
+  // or received RERR and every missing ACK, and the named link is almost
+  // never in the cache. The refcounts are an exact multiset of stored links,
+  // so a miss here proves no path can match the scan below.
+  if (!link_refs_.contains(link_key(from, to)) &&
+      !(from == owner && first_hop_refs_.contains(to))) {
+    return 0;
+  }
   std::size_t removed = 0;
   for (auto& [dst, paths] : by_dst_) {
     const auto uses_link = [&](const DsrCachePath& path) {
       NodeId prev = owner;
       for (const NodeId hop : path.hops) {
-        if (prev == from && hop == to) return true;
+        if (prev == from && hop == to) {
+          index_links(path.hops, -1);
+          return true;
+        }
         prev = hop;
       }
       return false;
@@ -75,9 +105,13 @@ std::size_t DsrRouteCache::remove_link(NodeId from, NodeId to, NodeId owner) {
 std::size_t DsrRouteCache::purge_expired(SimTime now) {
   std::size_t removed = 0;
   for (auto& [dst, paths] : by_dst_) {
-    const auto new_end = std::remove_if(
-        paths.begin(), paths.end(),
-        [&](const DsrCachePath& path) { return expired(path, now); });
+    const auto new_end =
+        std::remove_if(paths.begin(), paths.end(),
+                       [&](const DsrCachePath& path) {
+                         if (!expired(path, now)) return false;
+                         index_links(path.hops, -1);
+                         return true;
+                       });
     removed += static_cast<std::size_t>(paths.end() - new_end);
     paths.erase(new_end, paths.end());
   }

@@ -55,9 +55,27 @@ class DsrRouteCache {
     return path.learned_at + path_lifetime_ < now;
   }
 
+  static std::uint64_t link_key(NodeId from, NodeId to) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from))
+            << 32) |
+           static_cast<std::uint32_t>(to);
+  }
+  /// Adjusts the link reference counts for one stored path (+1 on insert,
+  /// -1 on removal).
+  void index_links(const std::vector<NodeId>& hops, int delta);
+
   std::size_t max_paths_per_dst_;
   SimTime path_lifetime_;
   std::unordered_map<NodeId, std::vector<DsrCachePath>> by_dst_;
+  // Exact multiset of links present in stored paths, so remove_link — called
+  // on every overheard/received RERR and every missing ACK — can reject the
+  // common "no cached path uses that link" case in O(1) instead of scanning
+  // the whole cache. Interior links (hops[i] -> hops[i+1]) live in
+  // link_refs_; the implicit owner -> hops[0] link is tracked by first hop
+  // alone (stored paths never contain the owner, so `from == owner` can only
+  // match a path's leading link).
+  std::unordered_map<std::uint64_t, std::uint32_t> link_refs_;
+  std::unordered_map<NodeId, std::uint32_t> first_hop_refs_;
 };
 
 }  // namespace xfa

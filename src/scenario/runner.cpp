@@ -49,6 +49,9 @@ ScenarioResult simulate(const ScenarioConfig& config) {
   ChannelConfig channel_config = config.channel;
   // AODV never consumes promiscuous taps; skip generating them.
   channel_config.promiscuous_taps = config.routing == RoutingKind::Dsr;
+  // Random-waypoint speeds are bounded, so the channel can run its spatial
+  // neighbor grid (exact pruning; trace-identical to the linear scan).
+  channel_config.max_node_speed = config.mobility.max_speed;
   Channel channel(sim, mobility, channel_config);
 
   // Benign chaos, scheduled before any traffic exists so the fault timeline

@@ -1,39 +1,95 @@
 #include "sim/scheduler.h"
 
+#include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "common/check.h"
 
 namespace xfa {
+namespace {
 
-EventId Scheduler::schedule_at(SimTime at, std::function<void()> fn) {
-  XFA_CHECK(at >= now_) << "cannot schedule into the past";
-  XFA_CHECK(fn) << "null event callback";
-  const EventId id = next_id_++;
-  queue_.push(Entry{at, next_seq_++, id});
-  callbacks_.emplace(id, std::move(fn));
-  return id;
+/// Tombstones are compacted only above this heap size: tiny queues re-heapify
+/// in microseconds anyway, and the threshold keeps a schedule/cancel/schedule
+/// ping-pong from compacting on every other cancel.
+constexpr std::size_t kCompactMinEntries = 64;
+
+constexpr EventId make_event_id(std::uint32_t slot, std::uint32_t generation) {
+  return (static_cast<EventId>(generation) << 32) | slot;
 }
 
-EventId Scheduler::schedule_in(SimTime delay, std::function<void()> fn) {
+}  // namespace
+
+EventId Scheduler::schedule_at(SimTime at, Callback fn) {
+  XFA_CHECK(at >= now_) << "cannot schedule into the past";
+  XFA_CHECK(fn) << "null event callback";
+  std::uint32_t index;
+  if (!free_slots_.empty()) {
+    index = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    XFA_CHECK_LT(slots_.size(), std::numeric_limits<std::uint32_t>::max());
+    index = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[index];
+  slot.fn = std::move(fn);
+  slot.armed = true;
+  heap_.push_back(Entry{at, next_seq_++, index, slot.generation});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  peak_pending_ = std::max(peak_pending_, heap_.size() - cancelled_pending_);
+  return make_event_id(index, slot.generation);
+}
+
+EventId Scheduler::schedule_in(SimTime delay, Callback fn) {
   XFA_CHECK_GE(delay, 0);
   return schedule_at(now_ + delay, std::move(fn));
 }
 
+void Scheduler::release_slot(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  slot.armed = false;
+  // Bumping the generation invalidates every EventId and heap entry minted
+  // for the previous occupancy (skip 0 so live ids are never 0 on wrap).
+  if (++slot.generation == 0) slot.generation = 1;
+  free_slots_.push_back(index);
+}
+
 bool Scheduler::cancel(EventId id) {
-  const auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
+  const auto index = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto generation = static_cast<std::uint32_t>(id >> 32);
+  if (index >= slots_.size()) return false;
+  Slot& slot = slots_[index];
+  if (!slot.armed || slot.generation != generation) return false;
+  slot.fn = Callback();  // release the callback (and its captures) now
+  release_slot(index);
+  ++cancelled_;
   ++cancelled_pending_;
+  maybe_compact();
   return true;
 }
 
+void Scheduler::maybe_compact() {
+  // Compact when tombstones dominate: cancelled entries otherwise sit in the
+  // heap until their fire time, so a schedule-heavy workload that cancels
+  // most timers (e.g. per-packet retransmit timers) would grow the heap
+  // without bound relative to its live size.
+  if (heap_.size() < kCompactMinEntries ||
+      cancelled_pending_ * 2 <= heap_.size()) {
+    return;
+  }
+  std::erase_if(heap_, [this](const Entry& entry) { return !live(entry); });
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  cancelled_pending_ = 0;
+  ++compactions_;
+}
+
 void Scheduler::dispatch_next() {
-  const Entry entry = queue_.top();
-  queue_.pop();
-  const auto it = callbacks_.find(entry.id);
-  if (it == callbacks_.end()) {
-    // Cancelled event: discard silently.
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  const Entry entry = heap_.back();
+  heap_.pop_back();
+  if (!live(entry)) {
+    // Cancelled event: discard the tombstone silently.
     XFA_CHECK_GT(cancelled_pending_, 0);
     --cancelled_pending_;
     return;
@@ -42,20 +98,22 @@ void Scheduler::dispatch_next() {
   // back events in non-decreasing time.
   XFA_CHECK_GE(entry.at, now_) << "event queue regressed in time";
   now_ = entry.at;
-  // Move out before invoking: the callback may schedule/cancel re-entrantly.
-  auto fn = std::move(it->second);
-  callbacks_.erase(it);
+  // Move out and release the slot before invoking: the callback may
+  // schedule/cancel re-entrantly (growing slots_ would invalidate references,
+  // and cancelling its own id must be a no-op).
+  Callback fn = std::move(slots_[entry.slot].fn);
+  release_slot(entry.slot);
   ++dispatched_;
   fn();
 }
 
 void Scheduler::run_until(SimTime until) {
-  while (!queue_.empty() && queue_.top().at <= until) dispatch_next();
+  while (!heap_.empty() && heap_.front().at <= until) dispatch_next();
   if (now_ < until) now_ = until;
 }
 
 void Scheduler::run() {
-  while (!queue_.empty()) dispatch_next();
+  while (!heap_.empty()) dispatch_next();
 }
 
 }  // namespace xfa

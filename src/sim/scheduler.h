@@ -1,23 +1,34 @@
 // Discrete-event scheduler: the heart of the ns-2 replacement.
+//
+// Storage layout (the simulation-core hot path, see DESIGN.md §10): event
+// callbacks live in a free-list slab indexed by the heap entries, so one
+// schedule/dispatch cycle costs a slab slot reuse plus a binary-heap
+// push/pop — no per-event map insert/find/erase, and (for the common small
+// captures) no per-event allocation thanks to InlineFunction's inline
+// buffer. Cancellation releases the callback immediately and leaves a
+// tombstone in the heap; tombstones are compacted away when they outnumber
+// the live entries (see maybe_compact).
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
+#include "common/inline_function.h"
 #include "sim/types.h"
 
 namespace xfa {
 
 /// Opaque handle identifying a scheduled event, usable for cancellation.
+/// Encodes (slot generation << 32 | slot index); never 0 for a live event.
 using EventId = std::uint64_t;
 
 /// A time-ordered queue of callbacks. Events scheduled for the same time fire
 /// in scheduling order (FIFO), which keeps runs deterministic.
 class Scheduler {
  public:
+  /// Callback storage type: move-only, small-buffer-optimized.
+  using Callback = InlineFunction;
+
   Scheduler() = default;
 
   /// Current simulation time; advances only inside run loops.
@@ -25,13 +36,14 @@ class Scheduler {
 
   /// Schedules `fn` to run at absolute time `at` (>= now). Returns an id that
   /// can be passed to cancel().
-  EventId schedule_at(SimTime at, std::function<void()> fn);
+  EventId schedule_at(SimTime at, Callback fn);
 
   /// Schedules `fn` to run `delay` seconds from now (delay >= 0).
-  EventId schedule_in(SimTime delay, std::function<void()> fn);
+  EventId schedule_in(SimTime delay, Callback fn);
 
   /// Cancels a pending event. Cancelling an already-fired or unknown id is a
-  /// no-op. Returns true if the event was pending.
+  /// no-op. Returns true if the event was pending. The callback is destroyed
+  /// immediately; only the heap entry lingers as a tombstone.
   bool cancel(EventId id);
 
   /// Runs events until the queue is empty or simulated time would pass
@@ -44,14 +56,29 @@ class Scheduler {
   /// Number of events dispatched so far (diagnostic).
   std::uint64_t dispatched() const { return dispatched_; }
 
-  /// Number of events currently pending (includes cancelled-but-unpopped).
-  std::size_t pending() const { return queue_.size() - cancelled_pending_; }
+  /// Number of successful cancellations so far (diagnostic).
+  std::uint64_t cancelled() const { return cancelled_; }
+
+  /// Number of live (not cancelled) events currently pending.
+  std::size_t pending() const { return heap_.size() - cancelled_pending_; }
+
+  /// High-water mark of live pending events (diagnostic; microbench).
+  std::size_t peak_pending() const { return peak_pending_; }
+
+  /// Number of tombstone compaction passes run so far (diagnostic).
+  std::uint64_t compactions() const { return compactions_; }
 
  private:
+  struct Slot {
+    Callback fn;
+    std::uint32_t generation = 1;  // bumped on release; stale ids miss
+    bool armed = false;            // true while a live event owns the slot
+  };
   struct Entry {
     SimTime at;
     std::uint64_t seq;  // tie-break: FIFO among same-time events
-    EventId id;
+    std::uint32_t slot;
+    std::uint32_t generation;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -60,17 +87,27 @@ class Scheduler {
     }
   };
 
+  bool live(const Entry& entry) const {
+    const Slot& slot = slots_[entry.slot];
+    return slot.armed && slot.generation == entry.generation;
+  }
+
+  void release_slot(std::uint32_t index);
   void dispatch_next();
+  void maybe_compact();
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t next_id_ = 1;
   std::uint64_t dispatched_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t compactions_ = 0;
   std::size_t cancelled_pending_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  // Callback storage; erased on dispatch or cancel. An entry popped from the
-  // queue with no callback here was cancelled.
-  std::unordered_map<EventId, std::function<void()>> callbacks_;
+  std::size_t peak_pending_ = 0;
+  // Binary heap (std::push_heap/pop_heap over Later) of pending entries; a
+  // plain vector so compaction can filter tombstones in place.
+  std::vector<Entry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace xfa

@@ -31,10 +31,10 @@ class Simulator {
   /// Independent RNG stream derived from the root seed.
   Rng fork_rng() { return rng_.fork(); }
 
-  EventId at(SimTime time, std::function<void()> fn) {
+  EventId at(SimTime time, Scheduler::Callback fn) {
     return scheduler_.schedule_at(time, std::move(fn));
   }
-  EventId after(SimTime delay, std::function<void()> fn) {
+  EventId after(SimTime delay, Scheduler::Callback fn) {
     return scheduler_.schedule_in(delay, std::move(fn));
   }
   bool cancel(EventId id) { return scheduler_.cancel(id); }

@@ -3,6 +3,8 @@
 // debug from the failure line alone.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "common/check.h"
 
 namespace xfa {
@@ -43,6 +45,20 @@ TEST(CheckDeathTest, CheckComposesWithControlFlow) {
   else
     XFA_CHECK(false);
   EXPECT_DEATH({ if (flag) XFA_CHECK(false) << "branch"; }, "branch");
+}
+
+TEST(CheckTest, StreamedMessageIsLazyOnSuccess) {
+  // Hot paths stream expensive renderings (e.g. `<< pkt.describe()`) onto
+  // checks; the operands must only be evaluated on the failure arm.
+  int rendered = 0;
+  const auto describe = [&rendered] {
+    ++rendered;
+    return std::string("expensive");
+  };
+  XFA_CHECK(true) << describe();
+  XFA_CHECK_EQ(2, 2) << describe() << describe();
+  EXPECT_EQ(rendered, 0);
+  EXPECT_DEATH(XFA_CHECK(false) << describe(), "expensive");
 }
 
 TEST(CheckTest, DcheckMatchesBuildConfiguration) {

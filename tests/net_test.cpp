@@ -16,8 +16,8 @@ namespace {
 class RecordingProtocol final : public RoutingProtocol {
  public:
   void send_data(Packet&& pkt) override { sent.push_back(pkt); }
-  void receive(Packet pkt, NodeId from) override {
-    received.emplace_back(pkt, from);
+  void receive(PacketPtr pkt, NodeId from) override {
+    received.emplace_back(*pkt, from);
   }
   void tap(const Packet& pkt, NodeId from, NodeId to) override {
     taps.push_back({pkt, from, to});

@@ -20,6 +20,12 @@
 //                     src/exec — all concurrency goes through the shared
 //                     execution layer (ThreadPool, TaskGroup, parallel_for),
 //                     which owns the determinism and nested-wait guarantees.
+//   hoist-or-grid     No `mobility_.position(...)` inside a loop body in
+//                     src/net (except net/neighbor_index.*, which owns the
+//                     sanctioned bulk query). Per-receiver position lookups
+//                     in channel hot loops are O(N) trig each; hoist the
+//                     query out of the loop or route it through the spatial
+//                     NeighborIndex.
 //   status-not-abort  Recoverable I/O paths under src/scenario/ — any TU
 //                     there that touches the filesystem (<fstream>,
 //                     <filesystem>, <cstdio>) — must not use XFA_CHECK /
@@ -152,6 +158,45 @@ void check_exec_only_threads(const fs::path& file, const fs::path& rel,
   }
 }
 
+void check_hoist_mobility(const fs::path& file, const fs::path& rel,
+                          const std::vector<std::string>& lines) {
+  const std::string rel_str = rel.generic_string();
+  if (rel_str.rfind("net/", 0) != 0) return;
+  // The spatial index owns the one sanctioned bulk position query (its
+  // rebuild loop); everything else in src/net must hoist or go through it.
+  if (rel_str.rfind("net/neighbor_index.", 0) == 0) return;
+
+  int depth = 0;
+  std::vector<int> loop_depths;  // brace depth of each enclosing loop body
+  bool pending_loop = false;     // saw a loop header, waiting for its '{'
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    const bool loop_header =
+        contains_token(line, "for (") || contains_token(line, "while (");
+    if (loop_header) pending_loop = true;
+    if ((!loop_depths.empty() || loop_header) &&
+        line.find("mobility_.position(") != std::string::npos) {
+      report(file, i + 1, "hoist-or-grid",
+             "per-iteration mobility position query in a src/net loop; "
+             "hoist it out of the loop or use the spatial NeighborIndex "
+             "(net/neighbor_index.h)");
+    }
+    for (const char c : line) {
+      if (c == '{') {
+        ++depth;
+        if (pending_loop) {
+          loop_depths.push_back(depth);
+          pending_loop = false;
+        }
+      } else if (c == '}') {
+        if (!loop_depths.empty() && loop_depths.back() == depth)
+          loop_depths.pop_back();
+        --depth;
+      }
+    }
+  }
+}
+
 void check_status_not_abort(const fs::path& file, const fs::path& rel,
                             const std::vector<std::string>& lines) {
   if (rel.generic_string().rfind("scenario/", 0) != 0) return;
@@ -217,6 +262,7 @@ int main(int argc, char** argv) {
     check_determinism(file, rel, lines);
     check_no_raw_assert(file, lines);
     check_exec_only_threads(file, rel, lines);
+    check_hoist_mobility(file, rel, lines);
     check_status_not_abort(file, rel, lines);
     if (ext == ".h") check_pragma_once(file, lines);
     if (ext == ".cpp") check_cmake_registered(file, rel, cmake_text);
