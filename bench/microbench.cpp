@@ -1,8 +1,9 @@
-// xfa_microbench: simulation-core hot-path kernels, reported as ops/sec.
+// xfa_microbench: simulation-core and detection-pipeline hot-path kernels,
+// reported as ops/sec.
 //
 // Usage: xfa_microbench [--quick] [--kernel=NAME]
 //
-// Kernels:
+// Simulation kernels:
 //   transmit-throughput  Broadcast transmits through the channel (spatial
 //                        neighbor grid + zero-copy fan-out) with full event
 //                        drain, on the paper's topology (50 nodes, 1000x1000,
@@ -16,17 +17,36 @@
 //   packet-fanout        Shared-handle fan-out of a route-bearing packet to
 //                        12 receivers versus the deep-copy equivalent.
 //
+// Detection kernels (the paper's computational-cost axis):
+//   c45-train            C4.5 fit through the column-major DatasetView and
+//                        the flat count-scratch arena.
+//   ripper-train         RIPPER fit (grow/prune decision list) through the
+//                        view with reused shuffle/coverage scratch.
+//   nbc-train            Naive Bayes fit: one column pass per feature into
+//                        the flattened conditional table.
+//   score-throughput     CrossFeatureModel::score_all over a discrete trace
+//                        (allocation-free predict_dist_into scoring, block-
+//                        parallel on the shared pool).
+//
 // --quick shrinks the iteration counts so the run doubles as a CI
-// correctness smoke: every kernel self-checks its results with XFA_CHECK, so
-// a nonzero exit means a real hot-path bug, not a slow machine.
+// correctness smoke: every kernel self-checks its results with XFA_CHECK
+// (the detection kernels check determinism across fits and the bit-identity
+// of serial score() versus parallel score_all()), so a nonzero exit means a
+// real hot-path bug, not a slow machine.
 
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "cfa/model.h"
 #include "common/check.h"
+#include "ml/c45.h"
+#include "ml/dataset_view.h"
+#include "ml/naive_bayes.h"
+#include "ml/ripper.h"
 #include "mobility/waypoint.h"
 #include "net/channel.h"
 #include "net/node.h"
@@ -228,6 +248,140 @@ void bench_fanout(bool quick) {
   XFA_CHECK_EQ(ttl_sum, 2 * iters * kReceivers * pkt.ttl);
 }
 
+/// Synthetic discrete dataset with the detection pipeline's shape:
+/// cardinality 5, correlated in blocks of 4 columns (mirrors
+/// bench/perf_classifiers.cpp so the kernels exercise comparable trees).
+Dataset synthetic_dataset(std::size_t rows, std::size_t columns,
+                          std::uint64_t seed) {
+  Dataset data;
+  data.cardinality.assign(columns, 5);
+  Rng rng(seed);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<int> row(columns);
+    for (std::size_t c = 0; c < columns; c += 4) {
+      const int base = static_cast<int>(rng.uniform_int(5));
+      for (std::size_t k = c; k < std::min(c + 4, columns); ++k)
+        row[k] =
+            rng.chance(0.8) ? base : static_cast<int>(rng.uniform_int(5));
+    }
+    data.rows.push_back(std::move(row));
+  }
+  return data;
+}
+
+std::vector<std::size_t> iota_columns(std::size_t n) {
+  std::vector<std::size_t> columns(n);
+  for (std::size_t i = 0; i < n; ++i) columns[i] = i;
+  return columns;
+}
+
+/// Self-check shared by the training kernels: predict_dist_into must agree
+/// bit-for-bit with the allocating predict_dist on every training row.
+void check_predict_paths(const Classifier& classifier, const Dataset& data) {
+  std::vector<double> scratch(16);
+  for (const std::vector<int>& row : data.rows) {
+    const std::vector<double> dist = classifier.predict_dist(row);
+    const std::size_t n = classifier.predict_dist_into(row, scratch);
+    XFA_CHECK_EQ(n, dist.size());
+    for (std::size_t v = 0; v < n; ++v) XFA_CHECK(scratch[v] == dist[v]);
+  }
+}
+
+void bench_c45_train(bool quick) {
+  const std::size_t rows = quick ? 300 : 2000;
+  const std::uint64_t iters = quick ? 3 : 30;
+  const Dataset data = synthetic_dataset(rows, 40, 5);
+  const DatasetView view(data);
+  std::vector<std::size_t> features = iota_columns(40);
+  features.pop_back();
+
+  std::string reference;
+  const auto start = Clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    C45 tree;
+    tree.fit(view, features, 39);
+    XFA_CHECK_GT(tree.node_count(), 1u) << "degenerate training tree";
+    if (i == 0) reference = tree.describe({});
+  }
+  report("c45-train", iters * rows, seconds_since(start));
+
+  // Determinism + path equivalence: a fresh fit through the Dataset overload
+  // must produce the identical tree, and both predict paths must agree.
+  C45 tree;
+  tree.fit(data, features, 39);
+  XFA_CHECK(tree.describe({}) == reference)
+      << "Dataset-overload fit diverged from DatasetView fit";
+  check_predict_paths(tree, data);
+}
+
+void bench_ripper_train(bool quick) {
+  const std::size_t rows = quick ? 300 : 2000;
+  const std::uint64_t iters = quick ? 3 : 30;
+  const Dataset data = synthetic_dataset(rows, 40, 5);
+  const DatasetView view(data);
+  std::vector<std::size_t> features = iota_columns(40);
+  features.pop_back();
+
+  std::string reference;
+  const auto start = Clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    Ripper ripper;
+    ripper.fit(view, features, 39);
+    if (i == 0) reference = ripper.describe({});
+  }
+  report("ripper-train", iters * rows, seconds_since(start));
+
+  Ripper ripper;
+  ripper.fit(data, features, 39);
+  XFA_CHECK(ripper.describe({}) == reference)
+      << "Dataset-overload fit diverged from DatasetView fit";
+  check_predict_paths(ripper, data);
+}
+
+void bench_nbc_train(bool quick) {
+  const std::size_t rows = quick ? 300 : 2000;
+  const std::uint64_t iters = quick ? 30 : 300;
+  const Dataset data = synthetic_dataset(rows, 40, 5);
+  const DatasetView view(data);
+  std::vector<std::size_t> features = iota_columns(40);
+  features.pop_back();
+
+  const auto start = Clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    NaiveBayes nbc;
+    nbc.fit(view, features, 39);
+  }
+  report("nbc-train", iters * rows, seconds_since(start));
+
+  NaiveBayes nbc;
+  nbc.fit(data, features, 39);
+  check_predict_paths(nbc, data);
+}
+
+void bench_score_throughput(bool quick) {
+  const std::size_t rows = quick ? 200 : 500;
+  const std::uint64_t iters = quick ? 2 : 20;
+  const Dataset data = synthetic_dataset(rows, 60, 5);
+  CrossFeatureModel model;
+  const Status status = model.train(
+      data, iota_columns(60), [] { return std::make_unique<C45>(); });
+  XFA_CHECK(status.ok()) << status.message();
+
+  std::vector<EventScore> scores;
+  const auto start = Clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) scores = model.score_all(data.rows);
+  report("score-throughput", iters * rows, seconds_since(start));
+
+  // Bit-identity: the block-parallel batch path must reproduce the serial
+  // per-row score() exactly (same summation order per sub-model).
+  XFA_CHECK_EQ(scores.size(), data.rows.size());
+  for (std::size_t r = 0; r < data.rows.size(); ++r) {
+    const EventScore serial = model.score(data.rows[r]);
+    XFA_CHECK(scores[r].avg_match_count == serial.avg_match_count);
+    XFA_CHECK(scores[r].avg_probability == serial.avg_probability);
+  }
+}
+
 }  // namespace
 }  // namespace xfa
 
@@ -251,5 +405,9 @@ int main(int argc, char** argv) {
   if (want("scheduler-churn")) xfa::bench_scheduler(quick);
   if (want("mobility-query")) xfa::bench_mobility(quick);
   if (want("packet-fanout")) xfa::bench_fanout(quick);
+  if (want("c45-train")) xfa::bench_c45_train(quick);
+  if (want("ripper-train")) xfa::bench_ripper_train(quick);
+  if (want("nbc-train")) xfa::bench_nbc_train(quick);
+  if (want("score-throughput")) xfa::bench_score_throughput(quick);
   return 0;
 }

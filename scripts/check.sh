@@ -24,9 +24,11 @@ run_pass() {
   cmake --build "${build_dir}" -j "${JOBS}"
   echo "=== ${name}: lint ==="
   ctest --test-dir "${build_dir}" -R xfa_lint --output-on-failure
-  echo "=== ${name}: simulation-core hot-path smoke ==="
+  echo "=== ${name}: hot-path smoke (simulation + detection kernels) ==="
   # Correctness smoke, not a benchmark: every kernel self-checks (grid vs
-  # brute force, scheduler counters, memoization identity) under XFA_CHECK.
+  # brute force, scheduler counters, memoization identity, view-fit vs
+  # Dataset-fit determinism, serial vs parallel score bit-identity) under
+  # XFA_CHECK.
   "${build_dir}/bench/xfa_microbench" --quick
   echo "=== ${name}: ctest ==="
   ctest --test-dir "${build_dir}" -j "${JOBS}" --output-on-failure
@@ -60,7 +62,7 @@ cmake -B build-check-tsan -S . -DXFA_WERROR=ON \
 cmake --build build-check-tsan -j "${JOBS}"
 echo "=== tsan: concurrency suites ==="
 ctest --test-dir build-check-tsan -j "${JOBS}" \
-  -R 'ThreadPool|TaskGroup|ParallelFor|SingleFlight|SharedPool|CacheStress|ParallelGather|EngineDeterminism' \
+  -R 'ThreadPool|TaskGroup|ParallelFor|SingleFlight|SharedPool|CacheStress|ParallelGather|EngineDeterminism|ScoreAllBitIdentical|FamilyParamTest' \
   --output-on-failure
 
 echo "All checks passed."

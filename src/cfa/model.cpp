@@ -1,9 +1,11 @@
 #include "cfa/model.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
 #include "exec/parallel_for.h"
+#include "ml/dataset_view.h"
 
 namespace xfa {
 
@@ -13,13 +15,16 @@ namespace {
 /// and (worse) trains sub-models that memorize the constant — under benign
 /// faults such columns appear routinely (e.g. frozen counters during long
 /// loss bursts), so they are skipped rather than fatal.
-bool is_constant_column(const std::vector<std::vector<int>>& rows,
-                        std::size_t column) {
-  const int first = rows.front()[column];
-  for (const auto& row : rows)
-    if (row[column] != first) return false;
+bool is_constant_column(std::span<const std::int32_t> column) {
+  const std::int32_t first = column.front();
+  for (const std::int32_t v : column)
+    if (v != first) return false;
   return true;
 }
+
+/// Rows scored per parallel_for task: big enough to amortize dispatch,
+/// small enough to load-balance a 2000-row trace across the pool.
+constexpr std::size_t kScoreBlock = 64;
 
 }  // namespace
 
@@ -35,11 +40,15 @@ Status CrossFeatureModel::train(const Dataset& normal_data,
     if (col >= normal_data.columns())
       return {StatusCode::kInvalidArgument, "label column out of range"};
 
+  // One column-major view, built once and shared (read-only) by all L
+  // sub-model fits — the per-fit row-table walk was the training hot spot.
+  const DatasetView view(normal_data);
+
   std::vector<std::size_t> survivors;
   std::vector<std::size_t> skipped;
   survivors.reserve(label_columns.size());
   for (const std::size_t col : label_columns) {
-    if (is_constant_column(normal_data.rows, col)) {
+    if (is_constant_column(view.column(col))) {
       skipped.push_back(col);
     } else {
       survivors.push_back(col);
@@ -53,6 +62,13 @@ Status CrossFeatureModel::train(const Dataset& normal_data,
   skipped_columns_ = std::move(skipped);
   submodels_.clear();
   submodels_.resize(label_columns_.size());
+  max_dist_size_ = 0;
+  schema_width_ = 0;
+  for (const std::size_t col : label_columns_) {
+    max_dist_size_ = std::max(
+        max_dist_size_, static_cast<std::size_t>(view.cardinality(col)));
+    schema_width_ = std::max(schema_width_, col + 1);
+  }
 
   // One sub-model fit per index, written to its own slot — byte-identical
   // for any worker count. Each sub-model with respect to f_i uses every
@@ -63,7 +79,7 @@ Status CrossFeatureModel::train(const Dataset& normal_data,
     for (const std::size_t col : label_columns_)
       if (col != label_columns_[i]) features.push_back(col);
     auto classifier = factory();
-    classifier->fit(normal_data, features, label_columns_[i]);
+    classifier->fit(view, features, label_columns_[i]);
     submodels_[i] = std::move(classifier);
   };
   if (threads == 1) {
@@ -75,23 +91,32 @@ Status CrossFeatureModel::train(const Dataset& normal_data,
   return Status::Ok();
 }
 
-EventScore CrossFeatureModel::score(const std::vector<int>& row) const {
+EventScore CrossFeatureModel::score_with(const std::vector<int>& row,
+                                         std::vector<double>& scratch) const {
   XFA_CHECK(trained());
+  // Checked before ANY sub-model predicts: every sub-model reads the other
+  // label columns as features, so a narrow row must be rejected up front,
+  // not when the loop happens to reach an out-of-range label column.
+  XFA_CHECK_LE(schema_width_, row.size())
+      << "row narrower than the trained schema";
+  scratch.resize(max_dist_size_);  // no-op once the caller's buffer is sized
   EventScore score;
   const auto count = static_cast<double>(submodels_.size());
   for (std::size_t i = 0; i < submodels_.size(); ++i) {
-    XFA_CHECK_LT(label_columns_[i], row.size())
-        << "row narrower than the trained schema";
     const int truth = row[label_columns_[i]];
-    const std::vector<double> dist = submodels_[i]->predict_dist(row);
+    // Zero-copy for C4.5/RIPPER (cached distributions); NBC writes into the
+    // scratch the span then aliases.
+    const std::span<const double> dist =
+        submodels_[i]->predict_dist_span(row, scratch);
+    const std::size_t classes = dist.size();
     // Match count (Algorithm 2): does the argmax equal the true value?
-    int argmax = 0;
-    for (std::size_t v = 1; v < dist.size(); ++v)
-      if (dist[v] > dist[static_cast<std::size_t>(argmax)])
-        argmax = static_cast<int>(v);
-    if (argmax == truth) score.avg_match_count += 1.0;
+    std::size_t argmax = 0;
+    for (std::size_t v = 1; v < classes; ++v)
+      if (dist[v] > dist[argmax]) argmax = v;
+    if (argmax == static_cast<std::size_t>(truth) && truth >= 0)
+      score.avg_match_count += 1.0;
     // Probability of the true class (Algorithm 3).
-    if (truth >= 0 && static_cast<std::size_t>(truth) < dist.size())
+    if (truth >= 0 && static_cast<std::size_t>(truth) < classes)
       score.avg_probability += dist[static_cast<std::size_t>(truth)];
   }
   score.avg_match_count /= count;
@@ -99,25 +124,36 @@ EventScore CrossFeatureModel::score(const std::vector<int>& row) const {
   return score;
 }
 
+EventScore CrossFeatureModel::score(const std::vector<int>& row) const {
+  // Reused across calls (per thread) so single-event scoring in a loop is
+  // as allocation-free as the batched path; score_with sizes it per model.
+  thread_local std::vector<double> scratch;
+  return score_with(row, scratch);
+}
+
 std::vector<CrossFeatureModel::SubmodelVerdict> CrossFeatureModel::explain(
     const std::vector<int>& row) const {
   XFA_CHECK(trained());
+  XFA_CHECK_LE(schema_width_, row.size())
+      << "row narrower than the trained schema";
   std::vector<SubmodelVerdict> verdicts;
   verdicts.reserve(submodels_.size());
+  std::vector<double> scratch(max_dist_size_);
   for (std::size_t i = 0; i < submodels_.size(); ++i) {
     SubmodelVerdict verdict;
     verdict.label_column = label_columns_[i];
     verdict.observed = row[label_columns_[i]];
-    const std::vector<double> dist = submodels_[i]->predict_dist(row);
-    int argmax = 0;
-    for (std::size_t v = 1; v < dist.size(); ++v)
-      if (dist[v] > dist[static_cast<std::size_t>(argmax)])
-        argmax = static_cast<int>(v);
-    verdict.predicted = argmax;
-    verdict.matched = argmax == verdict.observed;
+    const std::span<const double> dist =
+        submodels_[i]->predict_dist_span(row, scratch);
+    const std::size_t classes = dist.size();
+    std::size_t argmax = 0;
+    for (std::size_t v = 1; v < classes; ++v)
+      if (dist[v] > dist[argmax]) argmax = v;
+    verdict.predicted = static_cast<int>(argmax);
+    verdict.matched = verdict.predicted == verdict.observed;
     verdict.probability =
         verdict.observed >= 0 &&
-                static_cast<std::size_t>(verdict.observed) < dist.size()
+                static_cast<std::size_t>(verdict.observed) < classes
             ? dist[static_cast<std::size_t>(verdict.observed)]
             : 0.0;
     verdicts.push_back(verdict);
@@ -131,9 +167,19 @@ std::vector<CrossFeatureModel::SubmodelVerdict> CrossFeatureModel::explain(
 
 std::vector<EventScore> CrossFeatureModel::score_all(
     const std::vector<std::vector<int>>& rows) const {
-  std::vector<EventScore> scores;
-  scores.reserve(rows.size());
-  for (const auto& row : rows) scores.push_back(score(row));
+  std::vector<EventScore> scores(rows.size());
+  if (rows.empty()) return scores;
+  // Each block task owns one scratch buffer and writes only its own slots;
+  // per-row arithmetic does not depend on the blocking, so the output is
+  // byte-identical for any pool size (including the serial case).
+  const std::size_t blocks = (rows.size() + kScoreBlock - 1) / kScoreBlock;
+  parallel_for(shared_pool(), blocks, [&](std::size_t b) {
+    std::vector<double> scratch(max_dist_size_);
+    const std::size_t lo = b * kScoreBlock;
+    const std::size_t hi = std::min(lo + kScoreBlock, rows.size());
+    for (std::size_t i = lo; i < hi; ++i)
+      scores[i] = score_with(rows[i], scratch);
+  });
   return scores;
 }
 
@@ -168,9 +214,11 @@ double CrossFeatureRegressionModel::mean_log_distance(
     const std::vector<double>& row) const {
   XFA_CHECK(trained());
   double total = 0;
+  // One feature buffer reused across sub-models (hot path: called per row).
+  std::vector<double> features;
+  features.reserve(label_columns_.size() - 1);
   for (std::size_t i = 0; i < label_columns_.size(); ++i) {
-    std::vector<double> features;
-    features.reserve(label_columns_.size() - 1);
+    features.clear();
     for (const std::size_t col : label_columns_)
       if (col != label_columns_[i]) features.push_back(row[col]);
     total += LinearRegression::log_distance(submodels_[i].predict(features),

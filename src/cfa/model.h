@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -86,14 +87,24 @@ class CrossFeatureModel {
   /// Verdicts sorted by ascending probability (most anomalous first).
   std::vector<SubmodelVerdict> explain(const std::vector<int>& row) const;
 
-  /// Scores every row of a trace/dataset.
+  /// Scores every row of a trace/dataset. Row blocks are scored in parallel
+  /// on the shared pool with slot-indexed writes, so the result is
+  /// byte-identical to the serial per-row loop for any thread count.
   std::vector<EventScore> score_all(
       const std::vector<std::vector<int>>& rows) const;
 
  private:
+  /// One-pass Algorithm 2/3 with a caller-owned scratch buffer (resized to
+  /// the widest sub-model's label cardinality; reused across rows so the
+  /// per-event hot path is allocation-free).
+  EventScore score_with(const std::vector<int>& row,
+                        std::vector<double>& scratch) const;
+
   std::vector<std::size_t> label_columns_;
   std::vector<std::size_t> skipped_columns_;
   std::vector<std::unique_ptr<Classifier>> submodels_;
+  std::size_t max_dist_size_ = 0;  // widest sub-model label cardinality
+  std::size_t schema_width_ = 0;   // 1 + widest trained column index
 };
 
 /// Continuous-feature extension (§3): one multiple-linear-regression

@@ -8,16 +8,20 @@
 // class is ever impossible).
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "ml/dataset.h"
+#include "ml/dataset_view.h"
+#include "ml/log2_cache.h"
 
 namespace xfa {
 
 struct C45Config {
   std::size_t min_split_samples = 4;  // don't split smaller nodes
-  double prune_confidence = 0.25;     // Quinlan's CF default
+  double prune_confidence = 0.25;     // Quinlan's CF default; (0, 0.5]
   bool prune = true;
 };
 
@@ -28,7 +32,14 @@ class C45 final : public Classifier {
   void fit(const Dataset& data,
            const std::vector<std::size_t>& feature_columns,
            std::size_t label_column) override;
+  void fit(const DatasetView& view,
+           const std::vector<std::size_t>& feature_columns,
+           std::size_t label_column) override;
   std::vector<double> predict_dist(const std::vector<int>& row) const override;
+  std::size_t predict_dist_into(const std::vector<int>& row,
+                                std::span<double> out) const override;
+  std::span<const double> predict_dist_span(
+      const std::vector<int>& row, std::span<double> scratch) const override;
   const char* name() const override { return "C4.5"; }
 
   std::size_t node_count() const;
@@ -42,17 +53,66 @@ class C45 final : public Classifier {
   struct TreeNode {
     // Leaf when children is empty.
     std::vector<double> class_counts;  // training distribution at this node
+    std::vector<double> dist;          // cached Laplace distribution
     std::size_t split_column = 0;      // valid for internal nodes
     std::vector<std::unique_ptr<TreeNode>> children;  // per attribute value
   };
 
-  std::unique_ptr<TreeNode> build(const Dataset& data,
-                                  const std::vector<std::size_t>& rows,
-                                  std::vector<std::size_t> available,
-                                  std::size_t label_column);
+  /// Per-fit scratch arena: a row-index permutation recursed over as
+  /// [begin, end) ranges (partitioned in place by stable counting sort into
+  /// `scatter`), fused per-feature `value * labels + label` code arrays (so
+  /// every candidate scan is one gather plus one increment per row), a
+  /// histogram arena holding one private slice per candidate (candidates are
+  /// scanned two at a time so one row-index load feeds both gathers, and the
+  /// winner's surviving slice supplies the children's class counts with no
+  /// rescan), and per-depth buffers for the state that must survive the
+  /// recursion into children — allocated once per tree level, not per node.
+  struct Candidate {
+    std::size_t column = 0;
+    double gain = 0;
+    double ratio = 0;
+    const double* counts = nullptr;  // this candidate's slice of the arena
+  };
+  struct ScanSlot {
+    std::size_t column = 0;
+    std::size_t values = 0;
+    const std::int32_t* codes = nullptr;  // fused codes for this column
+    double* counts = nullptr;             // private value*label histogram
+  };
+  struct LevelScratch {
+    std::vector<std::size_t> remaining;    // candidate columns for children
+    std::vector<std::size_t> child_begin;  // per-value partition offsets
+  };
+  struct FitScratch {
+    std::vector<std::uint32_t> index;    // permuted row ids
+    std::vector<std::uint32_t> scatter;  // counting-sort target
+    std::vector<std::int32_t> codes;     // fused codes, [ordinal * rows + row]
+    std::vector<std::size_t> ordinal;    // column id -> ordinal into `codes`
+    std::vector<double> counts;          // candidate histograms, one slice each
+    std::vector<ScanSlot> scans;         // per-node, dead before recursion
+    std::vector<Candidate> candidates;   // same
+    std::vector<std::size_t> cursor;     // counting-sort cursors, same
+    std::vector<LevelScratch> levels;    // state outliving the recursion
+    Log2Memo log2;                       // memoized entropy/split-info terms
+    RatioMemo<PLog2PFn> plogp;           // small-count p*log2(p) pair table
+    std::size_t rows = 0;
+  };
+
+  /// Grows the subtree under `node`, whose `class_counts` the caller has
+  /// already filled (the root from the label column, children from the
+  /// winning candidate's count slices).
+  void grow(const DatasetView& view, FitScratch& scratch, TreeNode& node,
+            std::size_t begin, std::size_t end, std::size_t depth,
+            const std::vector<std::size_t>& available,
+            std::size_t label_column);
   /// Pessimistic-error pruning; returns the subtree's estimated error count.
   double prune_node(TreeNode& node);
+  /// Fills every node's cached Laplace distribution (run after pruning, so
+  /// the per-predict smoothing arithmetic happens exactly once per node).
+  static void cache_distributions(TreeNode& node);
   const TreeNode* walk(const std::vector<int>& row) const;
+  static std::size_t count_nodes(const TreeNode& node);
+  static std::size_t subtree_depth(const TreeNode& node);
 
   C45Config config_;
   std::unique_ptr<TreeNode> root_;

@@ -1,6 +1,9 @@
 #include "ml/dataset.h"
 
+#include <algorithm>
+
 #include "common/check.h"
+#include "ml/dataset_view.h"
 
 namespace xfa {
 
@@ -19,6 +22,25 @@ bool Dataset::valid() const {
     }
   }
   return true;
+}
+
+void Classifier::fit(const DatasetView& view,
+                     const std::vector<std::size_t>& feature_columns,
+                     std::size_t label_column) {
+  fit(view.source(), feature_columns, label_column);
+}
+
+std::size_t Classifier::predict_dist_into(const std::vector<int>& row,
+                                          std::span<double> out) const {
+  const std::vector<double> dist = predict_dist(row);
+  XFA_CHECK_GE(out.size(), dist.size()) << "scoring scratch buffer too small";
+  std::copy(dist.begin(), dist.end(), out.begin());
+  return dist.size();
+}
+
+std::span<const double> Classifier::predict_dist_span(
+    const std::vector<int>& row, std::span<double> scratch) const {
+  return {scratch.data(), predict_dist_into(row, scratch)};
 }
 
 int Classifier::predict(const std::vector<int>& row) const {
@@ -45,6 +67,16 @@ std::vector<double> laplace_distribution(const std::vector<double>& counts) {
   for (std::size_t v = 0; v < counts.size(); ++v)
     dist[v] = (counts[v] + 1.0) / denominator;
   return dist;
+}
+
+void laplace_distribution_into(std::span<const double> counts,
+                               std::span<double> out) {
+  XFA_CHECK_GE(out.size(), counts.size()) << "scoring scratch buffer too small";
+  double total = 0;
+  for (const double c : counts) total += c;
+  const double denominator = total + static_cast<double>(counts.size());
+  for (std::size_t v = 0; v < counts.size(); ++v)
+    out[v] = (counts[v] + 1.0) / denominator;
 }
 
 }  // namespace xfa

@@ -5,10 +5,13 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 namespace xfa {
+
+class DatasetView;
 
 /// A table of nominal (bucket-indexed) values. Every classifier consumes
 /// this; which column acts as the label is chosen per fit() call, which is
@@ -37,10 +40,37 @@ class Classifier {
                    const std::vector<std::size_t>& feature_columns,
                    std::size_t label_column) = 0;
 
+  /// Column-major fast path: trains from a prebuilt DatasetView (the
+  /// cross-feature model builds one view and shares it across all L
+  /// sub-model fits). The default delegates to the row-major fit on
+  /// `view.source()`; the in-tree classifiers override it with cache-linear
+  /// column scans. Both paths produce bit-identical models.
+  virtual void fit(const DatasetView& view,
+                   const std::vector<std::size_t>& feature_columns,
+                   std::size_t label_column);
+
   /// Probability distribution over the label's value space, for a full-width
   /// row (the classifier reads only its feature columns).
   virtual std::vector<double> predict_dist(
       const std::vector<int>& row) const = 0;
+
+  /// Allocation-free scoring: writes the distribution into the front of
+  /// `out` and returns the number of classes written. `out` must be at
+  /// least label-cardinality wide (the cross-feature model sizes one
+  /// scratch buffer to the widest sub-model and reuses it per row). The
+  /// default shim calls predict_dist() and copies; overrides produce values
+  /// bit-identical to predict_dist().
+  virtual std::size_t predict_dist_into(const std::vector<int>& row,
+                                        std::span<double> out) const;
+
+  /// Zero-copy flavour of predict_dist_into: returns a view of the
+  /// distribution, which either aliases `scratch` (after writing into it) or
+  /// points at state cached inside the classifier at fit time — C4.5 and
+  /// RIPPER return their cached per-leaf/per-rule distributions without
+  /// copying. Valid only until the next call on this classifier or the next
+  /// write to `scratch`. Values are bit-identical to predict_dist().
+  virtual std::span<const double> predict_dist_span(
+      const std::vector<int>& row, std::span<double> scratch) const;
 
   /// Most probable class.
   int predict(const std::vector<int>& row) const;
@@ -68,5 +98,11 @@ using ClassifierFactory = std::function<std::unique_ptr<Classifier>()>;
 
 /// Utility: Laplace-smoothed distribution from raw class counts.
 std::vector<double> laplace_distribution(const std::vector<double>& counts);
+
+/// In-place flavour for reused scratch buffers; writes counts.size() values
+/// into the front of `out` (which must be at least that wide). Arithmetic is
+/// identical to laplace_distribution.
+void laplace_distribution_into(std::span<const double> counts,
+                               std::span<double> out);
 
 }  // namespace xfa

@@ -4,64 +4,112 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "ml/log2_cache.h"
 
 namespace xfa {
 
 void NaiveBayes::fit(const Dataset& data,
                      const std::vector<std::size_t>& feature_columns,
                      std::size_t label_column) {
-  XFA_CHECK(!data.rows.empty());
+  fit(DatasetView(data), feature_columns, label_column);
+}
+
+void NaiveBayes::fit(const DatasetView& view,
+                     const std::vector<std::size_t>& feature_columns,
+                     std::size_t label_column) {
+  XFA_CHECK_GT(view.rows(), 0u);
   feature_columns_ = feature_columns;
-  const auto classes = static_cast<std::size_t>(
-      data.cardinality[label_column]);
+  const auto classes = static_cast<std::size_t>(view.cardinality(label_column));
   class_counts_.assign(classes, 0);
-  total_ = static_cast<double>(data.size());
+  total_ = static_cast<double>(view.rows());
 
-  cond_.assign(feature_columns_.size(), {});
+  const std::span<const std::int32_t> label_data = view.column(label_column);
+  for (std::size_t r = 0; r < view.rows(); ++r)
+    class_counts_[static_cast<std::size_t>(label_data[r])] += 1.0;
+
+  cond_offset_.resize(feature_columns_.size());
+  feature_cardinality_.resize(feature_columns_.size());
+  std::size_t flat_size = 0;
   for (std::size_t f = 0; f < feature_columns_.size(); ++f) {
-    cond_[f].assign(classes,
-                    std::vector<double>(static_cast<std::size_t>(
-                                            data.cardinality[
-                                                feature_columns_[f]]),
-                                        0.0));
+    cond_offset_[f] = flat_size;
+    feature_cardinality_[f] = view.cardinality(feature_columns_[f]);
+    flat_size += classes * static_cast<std::size_t>(feature_cardinality_[f]);
+  }
+  cond_flat_.assign(flat_size, 0.0);
+
+  // Column-major accumulation: one pass over (label, feature) column pairs.
+  // Counts are integral +1.0 increments, so the totals are exactly the same
+  // values the old row-major interleaved pass produced.
+  for (std::size_t f = 0; f < feature_columns_.size(); ++f) {
+    const std::span<const std::int32_t> col_data =
+        view.column(feature_columns_[f]);
+    const auto card = static_cast<std::size_t>(feature_cardinality_[f]);
+    double* const table = cond_flat_.data() + cond_offset_[f];
+    for (std::size_t r = 0; r < view.rows(); ++r) {
+      table[static_cast<std::size_t>(label_data[r]) * card +
+            static_cast<std::size_t>(col_data[r])] += 1.0;
+    }
   }
 
-  for (const auto& row : data.rows) {
-    const auto label = static_cast<std::size_t>(row[label_column]);
-    class_counts_[label] += 1.0;
-    for (std::size_t f = 0; f < feature_columns_.size(); ++f)
-      cond_[f][label][static_cast<std::size_t>(
-          row[feature_columns_[f]])] += 1.0;
+  // Convert counts to the Laplace-smoothed log terms predict sums — the
+  // exact doubles std::log produced per prediction before, computed once.
+  // The memo collapses the heavily repeated (count+1)/denominator ratios to
+  // one libm call each (bit-identical values).
+  LnMemo log;
+  prior_log_.resize(classes);
+  for (std::size_t c = 0; c < classes; ++c)
+    prior_log_[c] = log((class_counts_[c] + 1.0) /
+                        (total_ + static_cast<double>(classes)));
+  unseen_log_.resize(feature_columns_.size() * classes);
+  for (std::size_t f = 0; f < feature_columns_.size(); ++f) {
+    const auto card = static_cast<std::size_t>(feature_cardinality_[f]);
+    double* const table = cond_flat_.data() + cond_offset_[f];
+    for (std::size_t c = 0; c < classes; ++c) {
+      const double denominator =
+          class_counts_[c] + static_cast<double>(card);
+      for (std::size_t v = 0; v < card; ++v)
+        table[c * card + v] = log((table[c * card + v] + 1.0) /
+                                  denominator);
+      unseen_log_[f * classes + c] = log(1.0 / denominator);
+    }
   }
+}
+
+std::size_t NaiveBayes::predict_dist_into(const std::vector<int>& row,
+                                          std::span<double> out) const {
+  XFA_CHECK(!class_counts_.empty()) << "predict before fit";
+  const std::size_t classes = class_counts_.size();
+  XFA_CHECK_GE(out.size(), classes) << "scoring scratch buffer too small";
+  // Work in log space to avoid underflow across ~140 factors; `out` holds
+  // the log scores, then is normalized in place. All log terms were
+  // precomputed at fit time, so this is a pure table walk.
+  for (std::size_t c = 0; c < classes; ++c) {
+    out[c] = prior_log_[c];
+    for (std::size_t f = 0; f < feature_columns_.size(); ++f) {
+      const auto card = static_cast<std::size_t>(feature_cardinality_[f]);
+      const double* const table =
+          cond_flat_.data() + cond_offset_[f] + c * card;
+      const auto v = static_cast<std::size_t>(row[feature_columns_[f]]);
+      out[c] += v < card ? table[v] : unseen_log_[f * classes + c];
+    }
+  }
+  // Normalize: p(l_i|x) = n(l_i|x) / sum_k n(l_k|x).
+  const double max_log =
+      *std::max_element(out.begin(), out.begin() + classes);
+  double sum = 0;
+  for (std::size_t c = 0; c < classes; ++c) {
+    out[c] = std::exp(out[c] - max_log);
+    sum += out[c];
+  }
+  for (std::size_t c = 0; c < classes; ++c) out[c] /= sum;
+  return classes;
 }
 
 std::vector<double> NaiveBayes::predict_dist(
     const std::vector<int>& row) const {
   XFA_CHECK(!class_counts_.empty()) << "predict before fit";
-  const std::size_t classes = class_counts_.size();
-  // Work in log space to avoid underflow across ~140 factors.
-  std::vector<double> log_score(classes);
-  for (std::size_t c = 0; c < classes; ++c) {
-    log_score[c] = std::log((class_counts_[c] + 1.0) /
-                            (total_ + static_cast<double>(classes)));
-    for (std::size_t f = 0; f < feature_columns_.size(); ++f) {
-      const auto& counts = cond_[f][c];
-      const auto v = static_cast<std::size_t>(row[feature_columns_[f]]);
-      const double value_count = v < counts.size() ? counts[v] : 0.0;
-      log_score[c] += std::log(
-          (value_count + 1.0) /
-          (class_counts_[c] + static_cast<double>(counts.size())));
-    }
-  }
-  // Normalize: p(l_i|x) = n(l_i|x) / sum_k n(l_k|x).
-  const double max_log = *std::max_element(log_score.begin(), log_score.end());
-  std::vector<double> dist(classes);
-  double sum = 0;
-  for (std::size_t c = 0; c < classes; ++c) {
-    dist[c] = std::exp(log_score[c] - max_log);
-    sum += dist[c];
-  }
-  for (double& p : dist) p /= sum;
+  std::vector<double> dist(class_counts_.size());
+  predict_dist_into(row, dist);
   return dist;
 }
 

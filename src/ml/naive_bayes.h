@@ -6,9 +6,11 @@
 // Laplace-smoothed so unseen attribute values never zero out a class.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "ml/dataset.h"
+#include "ml/dataset_view.h"
 
 namespace xfa {
 
@@ -17,15 +19,28 @@ class NaiveBayes final : public Classifier {
   void fit(const Dataset& data,
            const std::vector<std::size_t>& feature_columns,
            std::size_t label_column) override;
+  void fit(const DatasetView& view,
+           const std::vector<std::size_t>& feature_columns,
+           std::size_t label_column) override;
   std::vector<double> predict_dist(const std::vector<int>& row) const override;
+  std::size_t predict_dist_into(const std::vector<int>& row,
+                                std::span<double> out) const override;
   const char* name() const override { return "NBC"; }
 
  private:
   std::vector<std::size_t> feature_columns_;
   std::vector<double> class_counts_;
-  // cond_[f][class][value] = count of value for feature_columns_[f] given
-  // class, Laplace-ready.
-  std::vector<std::vector<std::vector<double>>> cond_;
+  // Conditional tables, flattened into one contiguous buffer:
+  // cond_flat_[cond_offset_[f] + class*cardinality(f) + value]. During fit
+  // they accumulate counts; fit then converts them in place to the
+  // Laplace-smoothed *log* terms log((count+1)/(class_count+cardinality)),
+  // so predict is a pure table-sum — no std::log per (class, feature).
+  std::vector<double> cond_flat_;
+  std::vector<std::size_t> cond_offset_;    // per feature, into cond_flat_
+  std::vector<int> feature_cardinality_;    // per feature
+  std::vector<double> prior_log_;           // log class prior, per class
+  std::vector<double> unseen_log_;          // log term for out-of-range
+                                            // values, [f * classes + class]
   double total_ = 0;
 };
 

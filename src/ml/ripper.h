@@ -14,9 +14,11 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "ml/dataset.h"
+#include "ml/dataset_view.h"
 
 namespace xfa {
 
@@ -34,7 +36,14 @@ class Ripper final : public Classifier {
   void fit(const Dataset& data,
            const std::vector<std::size_t>& feature_columns,
            std::size_t label_column) override;
+  void fit(const DatasetView& view,
+           const std::vector<std::size_t>& feature_columns,
+           std::size_t label_column) override;
   std::vector<double> predict_dist(const std::vector<int>& row) const override;
+  std::size_t predict_dist_into(const std::vector<int>& row,
+                                std::span<double> out) const override;
+  std::span<const double> predict_dist_span(
+      const std::vector<int>& row, std::span<double> scratch) const override;
   const char* name() const override { return "RIPPER"; }
 
   std::size_t rule_count() const { return rules_.size(); }
@@ -52,13 +61,18 @@ class Ripper final : public Classifier {
     std::vector<Condition> conditions;
     int target_class = 0;
     std::vector<double> class_counts;  // training examples covered, per class
+    std::vector<double> dist;          // cached Laplace distribution
   };
 
   static bool matches(const Rule& rule, const std::vector<int>& row);
+  /// Coverage test against the column-major view (fit-time hot path).
+  static bool matches_view(const Rule& rule, const DatasetView& view,
+                           std::size_t row, std::size_t keep_conditions);
 
   RipperConfig config_;
   std::vector<Rule> rules_;           // ordered decision list
   std::vector<double> default_counts_;
+  std::vector<double> default_dist_;  // cached Laplace distribution
   int label_cardinality_ = 0;
 };
 

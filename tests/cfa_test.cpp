@@ -247,6 +247,15 @@ TEST(CrossFeature, ExplainRanksDeviatingFeaturesFirst) {
   EXPECT_LE(verdicts[1].probability, verdicts[2].probability);
 }
 
+TEST(CrossFeatureDeathTest, RejectsRowNarrowerThanTrainedSchema) {
+  // A truncated event row would index past its end inside every sub-model;
+  // the schema-width contract fires before any out-of-bounds read.
+  CrossFeatureModel model;
+  model.train(table1(), {0, 1, 2}, nbc(), 1);
+  EXPECT_DEATH(model.explain({1, 1}), "narrower than the trained schema");
+  EXPECT_DEATH(model.score({1}), "narrower than the trained schema");
+}
+
 TEST(ThresholdTest, QuantileSelection) {
   std::vector<double> scores;
   for (int i = 1; i <= 100; ++i) scores.push_back(i / 100.0);

@@ -311,6 +311,18 @@ TEST(DescribeTest, DefaultRenderingIsOpaque) {
   EXPECT_NE(classifier.describe({}).find("NBC"), std::string::npos);
 }
 
+TEST(C45DeathTest, RejectsOutOfRangePruneConfidence) {
+  // The pessimistic-error z table covers (0, 0.5]; out-of-range confidence
+  // used to fall back silently to cf=0.25 — now it is a construction error.
+  C45Config config;
+  config.prune_confidence = 0.75;
+  EXPECT_DEATH(C45{config}, "prune_confidence");
+  config.prune_confidence = 0.0;
+  EXPECT_DEATH(C45{config}, "prune_confidence");
+  config.prune_confidence = -0.1;
+  EXPECT_DEATH(C45{config}, "prune_confidence");
+}
+
 TEST(LinRegTest, RecoversLinearFunction) {
   LinearRegression model;
   std::vector<std::vector<double>> x;

@@ -1,0 +1,202 @@
+// Equivalence tests for the detection-pipeline hot paths: the column-major
+// DatasetView fit, the allocation-free predict_dist_into scoring path, and
+// the block-parallel score_all must all be bit-identical to the simple
+// row-major / allocating / serial formulations they replaced.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cfa/model.h"
+#include "exec/thread_pool.h"
+#include "ml/c45.h"
+#include "ml/dataset_view.h"
+#include "ml/naive_bayes.h"
+#include "ml/ripper.h"
+#include "sim/rng.h"
+
+namespace xfa {
+namespace {
+
+/// Correlated discrete dataset (blocks of 4 columns sharing a base value),
+/// the same shape the bench kernels use.
+Dataset correlated_dataset(std::size_t rows, std::size_t columns,
+                           std::uint64_t seed) {
+  Dataset data;
+  data.cardinality.assign(columns, 5);
+  Rng rng(seed);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<int> row(columns);
+    for (std::size_t c = 0; c < columns; c += 4) {
+      const int base = static_cast<int>(rng.uniform_int(5));
+      for (std::size_t k = c; k < std::min(c + 4, columns); ++k)
+        row[k] =
+            rng.chance(0.8) ? base : static_cast<int>(rng.uniform_int(5));
+    }
+    data.rows.push_back(std::move(row));
+  }
+  return data;
+}
+
+std::vector<std::size_t> iota_columns(std::size_t n) {
+  std::vector<std::size_t> columns(n);
+  for (std::size_t i = 0; i < n; ++i) columns[i] = i;
+  return columns;
+}
+
+ClassifierFactory factory_for(int kind) {
+  switch (kind) {
+    case 0:
+      return [] { return std::make_unique<C45>(); };
+    case 1:
+      return [] { return std::make_unique<Ripper>(); };
+    default:
+      return [] { return std::make_unique<NaiveBayes>(); };
+  }
+}
+
+std::unique_ptr<Classifier> classifier_for(int kind) {
+  return factory_for(kind)();
+}
+
+/// Restores the default shared-pool size even when an assertion fails.
+struct PoolGuard {
+  ~PoolGuard() { resize_shared_pool(0); }
+};
+
+// -- DatasetView invariants ------------------------------------------------
+
+TEST(DatasetViewTest, ColumnsMirrorRowMajorSource) {
+  const Dataset data = correlated_dataset(64, 12, 17);
+  const DatasetView view(data);
+  ASSERT_EQ(view.rows(), data.rows.size());
+  ASSERT_EQ(view.columns(), data.columns());
+  EXPECT_EQ(&view.source(), &data);
+  int max_card = 0;
+  for (std::size_t c = 0; c < view.columns(); ++c) {
+    EXPECT_EQ(view.cardinality(c), data.cardinality[c]);
+    max_card = std::max(max_card, data.cardinality[c]);
+    const auto column = view.column(c);
+    ASSERT_EQ(column.size(), data.rows.size());
+    for (std::size_t r = 0; r < data.rows.size(); ++r)
+      EXPECT_EQ(column[r], data.rows[r][c]) << "(" << r << "," << c << ")";
+  }
+  EXPECT_EQ(view.max_cardinality(), max_card);
+}
+
+// -- Fit-path equivalence (row-major Dataset vs column-major view) ---------
+
+class FamilyParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FamilyParamTest, ViewFitMatchesDatasetFit) {
+  const Dataset data = correlated_dataset(300, 16, 23);
+  const DatasetView view(data);
+  std::vector<std::size_t> features = iota_columns(16);
+  features.pop_back();
+
+  const auto via_dataset = classifier_for(GetParam());
+  via_dataset->fit(data, features, 15);
+  const auto via_view = classifier_for(GetParam());
+  via_view->fit(view, features, 15);
+
+  EXPECT_EQ(via_dataset->describe({}), via_view->describe({}));
+  for (const auto& row : data.rows) {
+    const auto a = via_dataset->predict_dist(row);
+    const auto b = via_view->predict_dist(row);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t v = 0; v < a.size(); ++v)
+      EXPECT_EQ(a[v], b[v]) << "class " << v;  // bitwise, not approximate
+  }
+}
+
+TEST_P(FamilyParamTest, PredictDistIntoMatchesPredictDist) {
+  const Dataset data = correlated_dataset(300, 16, 29);
+  std::vector<std::size_t> features = iota_columns(16);
+  features.pop_back();
+  const auto classifier = classifier_for(GetParam());
+  classifier->fit(data, features, 15);
+
+  std::vector<double> scratch(32, -1.0);
+  for (const auto& row : data.rows) {
+    const std::vector<double> dist = classifier->predict_dist(row);
+    const std::size_t n = classifier->predict_dist_into(row, scratch);
+    ASSERT_EQ(n, dist.size());
+    for (std::size_t v = 0; v < n; ++v) EXPECT_EQ(scratch[v], dist[v]);
+  }
+}
+
+TEST_P(FamilyParamTest, PredictDistSpanMatchesPredictDist) {
+  const Dataset data = correlated_dataset(300, 16, 29);
+  std::vector<std::size_t> features = iota_columns(16);
+  features.pop_back();
+  const auto classifier = classifier_for(GetParam());
+  classifier->fit(data, features, 15);
+
+  // The zero-copy span (aliasing the scratch or fit-time cached state) must
+  // carry exactly the doubles the allocating path returns.
+  std::vector<double> scratch(32, -1.0);
+  for (const auto& row : data.rows) {
+    const std::vector<double> dist = classifier->predict_dist(row);
+    const std::span<const double> view = classifier->predict_dist_span(row, scratch);
+    ASSERT_EQ(view.size(), dist.size());
+    for (std::size_t v = 0; v < view.size(); ++v) EXPECT_EQ(view[v], dist[v]);
+  }
+}
+
+TEST_P(FamilyParamTest, ScoreAllBitIdenticalAcrossThreadCounts) {
+  const Dataset data = correlated_dataset(200, 12, 31);
+  CrossFeatureModel model;
+  ASSERT_TRUE(
+      model.train(data, iota_columns(12), factory_for(GetParam()), 1).ok());
+
+  PoolGuard guard;
+  resize_shared_pool(1);
+  const std::vector<EventScore> serial = model.score_all(data.rows);
+  resize_shared_pool(8);
+  const std::vector<EventScore> parallel = model.score_all(data.rows);
+
+  ASSERT_EQ(serial.size(), data.rows.size());
+  ASSERT_EQ(parallel.size(), data.rows.size());
+  for (std::size_t r = 0; r < data.rows.size(); ++r) {
+    // Bitwise equality, not EXPECT_DOUBLE_EQ: the batched path promises the
+    // identical summation order, so the doubles must match exactly.
+    EXPECT_EQ(serial[r].avg_match_count, parallel[r].avg_match_count);
+    EXPECT_EQ(serial[r].avg_probability, parallel[r].avg_probability);
+    const EventScore one = model.score(data.rows[r]);
+    EXPECT_EQ(serial[r].avg_match_count, one.avg_match_count);
+    EXPECT_EQ(serial[r].avg_probability, one.avg_probability);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, FamilyParamTest,
+                         ::testing::Values(0, 1, 2));
+
+// -- Golden tree -----------------------------------------------------------
+
+// Pins the exact C4.5 tree grown from a fixed seed through the DatasetView
+// fit path: any accidental change to candidate evaluation order, the
+// stable partition, or the pruning arithmetic shows up as a diff here
+// before it can silently shift every figure downstream.
+TEST(C45GoldenTest, FixedSeedTreeIsStable) {
+  Dataset data;
+  data.cardinality = {3, 2, 3};  // f0, noise, label
+  Rng rng(5);
+  for (int i = 0; i < 120; ++i) {
+    const int f0 = static_cast<int>(rng.uniform_int(3));
+    const int label =
+        rng.chance(0.9) ? f0 : static_cast<int>(rng.uniform_int(3));
+    data.rows.push_back({f0, static_cast<int>(rng.uniform_int(2)), label});
+  }
+  C45 tree;
+  tree.fit(data, {0, 1}, 2);
+  EXPECT_EQ(tree.describe({"f0", "noise"}),
+            "split on f0\n"
+            "  = 0: -> class 0  (40/42)\n"
+            "  = 1: -> class 1  (34/37)\n"
+            "  = 2: -> class 2  (38/41)\n");
+}
+
+}  // namespace
+}  // namespace xfa

@@ -26,6 +26,10 @@
 //                     in channel hot loops are O(N) trig each; hoist the
 //                     query out of the loop or route it through the spatial
 //                     NeighborIndex.
+//   scratch-scoring   No allocating `predict_dist(` call inside a loop body
+//                     in src/cfa — batched scoring is the detection hot path
+//                     and must stay allocation-free: use predict_dist_into
+//                     with a reused scratch buffer (ml/dataset.h).
 //   status-not-abort  Recoverable I/O paths under src/scenario/ — any TU
 //                     there that touches the filesystem (<fstream>,
 //                     <filesystem>, <cstdio>) — must not use XFA_CHECK /
@@ -197,6 +201,44 @@ void check_hoist_mobility(const fs::path& file, const fs::path& rel,
   }
 }
 
+void check_scratch_scoring(const fs::path& file, const fs::path& rel,
+                           const std::vector<std::string>& lines) {
+  if (rel.generic_string().rfind("cfa/", 0) != 0) return;
+  // Batched scoring (score_all over a whole trace) is the detection-phase
+  // hot path; an allocating predict_dist call in a loop reintroduces one
+  // vector allocation per (row, sub-model) pair. `predict_dist_into(` does
+  // not match the banned token, so the scratch-buffer path stays clean.
+  int depth = 0;
+  std::vector<int> loop_depths;  // brace depth of each enclosing loop body
+  bool pending_loop = false;     // saw a loop header, waiting for its '{'
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    const bool loop_header =
+        contains_token(line, "for (") || contains_token(line, "while (");
+    if (loop_header) pending_loop = true;
+    if ((!loop_depths.empty() || loop_header) &&
+        line.find("predict_dist(") != std::string::npos) {
+      report(file, i + 1, "scratch-scoring",
+             "allocating predict_dist call in a src/cfa loop; use "
+             "predict_dist_into with a reused scratch buffer so batched "
+             "scoring stays allocation-free");
+    }
+    for (const char c : line) {
+      if (c == '{') {
+        ++depth;
+        if (pending_loop) {
+          loop_depths.push_back(depth);
+          pending_loop = false;
+        }
+      } else if (c == '}') {
+        if (!loop_depths.empty() && loop_depths.back() == depth)
+          loop_depths.pop_back();
+        --depth;
+      }
+    }
+  }
+}
+
 void check_status_not_abort(const fs::path& file, const fs::path& rel,
                             const std::vector<std::string>& lines) {
   if (rel.generic_string().rfind("scenario/", 0) != 0) return;
@@ -263,6 +305,7 @@ int main(int argc, char** argv) {
     check_no_raw_assert(file, lines);
     check_exec_only_threads(file, rel, lines);
     check_hoist_mobility(file, rel, lines);
+    check_scratch_scoring(file, rel, lines);
     check_status_not_abort(file, rel, lines);
     if (ext == ".h") check_pragma_once(file, lines);
     if (ext == ".cpp") check_cmake_registered(file, rel, cmake_text);
