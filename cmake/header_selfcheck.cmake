@@ -1,0 +1,35 @@
+# Header self-containment gate: every public header under src/ must compile
+# as a standalone translation unit (its own includes are sufficient — no
+# reliance on what a particular .cpp happened to include first).
+#
+# For each src/**/*.h a one-line TU `#include "<rel>"` is generated under the
+# build tree and compiled into an OBJECT library. A content-diff guard keeps
+# regeneration from dirtying timestamps (and so from rebuild churn) when the
+# header set is unchanged.
+
+file(GLOB_RECURSE _xfa_public_headers CONFIGURE_DEPENDS
+  ${PROJECT_SOURCE_DIR}/src/*.h)
+
+set(_xfa_selfcheck_dir ${PROJECT_BINARY_DIR}/header_selfcheck)
+set(_xfa_selfcheck_tus "")
+foreach(_hdr IN LISTS _xfa_public_headers)
+  file(RELATIVE_PATH _rel ${PROJECT_SOURCE_DIR}/src ${_hdr})
+  string(REPLACE "/" "_" _flat ${_rel})
+  string(REPLACE ".h" "_selfcheck.cpp" _flat ${_flat})
+  set(_tu ${_xfa_selfcheck_dir}/${_flat})
+  set(_content "#include \"${_rel}\"  // self-containment check\n")
+  if(EXISTS ${_tu})
+    file(READ ${_tu} _existing)
+  else()
+    set(_existing "")
+  endif()
+  if(NOT _existing STREQUAL _content)
+    file(WRITE ${_tu} ${_content})
+  endif()
+  list(APPEND _xfa_selfcheck_tus ${_tu})
+endforeach()
+
+add_library(xfa_header_selfcheck OBJECT ${_xfa_selfcheck_tus})
+# Linking the umbrella target propagates include dirs and compile features;
+# OBJECT libraries consume only the usage requirements.
+target_link_libraries(xfa_header_selfcheck PRIVATE xfa)

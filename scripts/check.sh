@@ -24,6 +24,10 @@ run_pass() {
   cmake --build "${build_dir}" -j "${JOBS}"
   echo "=== ${name}: lint ==="
   ctest --test-dir "${build_dir}" -R xfa_lint --output-on-failure
+  # Machine-readable report for CI artifact upload; exit status already
+  # enforced by the ctest gate above.
+  "${build_dir}/tools/lint/xfa_lint" --format=sarif \
+    --out="${build_dir}/xfa_lint.sarif" . >/dev/null || true
   echo "=== ${name}: hot-path smoke (simulation + detection kernels) ==="
   # Correctness smoke, not a benchmark: every kernel self-checks (grid vs
   # brute force, scheduler counters, memoization identity, view-fit vs

@@ -4,39 +4,6 @@
 
 namespace xfa {
 
-const char* to_string(AuditPacketType type) {
-  switch (type) {
-    case AuditPacketType::Data: return "data";
-    case AuditPacketType::RouteAll: return "route";
-    case AuditPacketType::RouteRequest: return "rreq";
-    case AuditPacketType::RouteReply: return "rrep";
-    case AuditPacketType::RouteError: return "rerr";
-    case AuditPacketType::Hello: return "hello";
-  }
-  return "?";
-}
-
-const char* to_string(FlowDirection dir) {
-  switch (dir) {
-    case FlowDirection::Received: return "recv";
-    case FlowDirection::Sent: return "sent";
-    case FlowDirection::Forwarded: return "fwd";
-    case FlowDirection::Dropped: return "drop";
-  }
-  return "?";
-}
-
-const char* to_string(RouteEventKind kind) {
-  switch (kind) {
-    case RouteEventKind::Add: return "add";
-    case RouteEventKind::Remove: return "remove";
-    case RouteEventKind::Find: return "find";
-    case RouteEventKind::Notice: return "notice";
-    case RouteEventKind::Repair: return "repair";
-  }
-  return "?";
-}
-
 void AuditLog::record_packet(SimTime t, AuditPacketType type,
                              FlowDirection dir) {
   // The paper's feature set excludes data x {forwarded, dropped}: data in

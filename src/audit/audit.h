@@ -1,72 +1,35 @@
 // Per-node audit trail: the MANET IDS's only data source.
 //
-// The paper's premise is that a MANET node can observe only local activity:
-// packets it sends/receives/forwards/drops, and its own routing-fabric events
-// (route add/removal/find/notice/repair). The AuditLog records exactly that,
-// time-stamped, and is consumed post-run by the feature extractor.
-//
-// This module deliberately has no dependency on the packet/routing code: the
-// node maps its wire-level packet kinds onto these audit categories, mirroring
-// how an ns-2 trace file is protocol-agnostic text.
+// The observation vocabulary (packet types, flow directions, route events)
+// and the AuditSink interface live in sim/observe.h so the network layer can
+// emit observations without depending on this module. AuditLog is the
+// concrete sink: append-only, time-stamped streams consumed post-run by the
+// feature extractor — mirroring how an ns-2 trace file is protocol-agnostic
+// text.
 #pragma once
 
 #include <array>
 #include <cstddef>
 #include <vector>
 
+#include "sim/observe.h"
 #include "sim/types.h"
 
 namespace xfa {
 
-/// Packet-type dimension of Table 5. `RouteAll` aggregates every packet that
-/// carries a routing header: all control messages plus encapsulated data at
-/// intermediate hops (the paper: "all activities (including forwarding and
-/// dropping) during the transmission process only involve 'route' packets").
-enum class AuditPacketType : std::uint8_t {
-  Data = 0,
-  RouteAll = 1,
-  RouteRequest = 2,
-  RouteReply = 3,
-  RouteError = 4,
-  Hello = 5,
-};
-inline constexpr std::size_t kAuditPacketTypeCount = 6;
-
-/// Flow-direction dimension of Table 5.
-enum class FlowDirection : std::uint8_t {
-  Received = 0,   // observed at destinations
-  Sent = 1,       // observed at sources
-  Forwarded = 2,  // observed at intermediate routers
-  Dropped = 3,    // observed at routers with no route (or malicious drop)
-};
-inline constexpr std::size_t kFlowDirectionCount = 4;
-
-/// Route-fabric events of Table 4 (Feature Set I).
-enum class RouteEventKind : std::uint8_t {
-  Add = 0,     // route newly added by route discovery
-  Remove = 1,  // stale route being removed
-  Find = 2,    // route found in cache, no re-discovery needed
-  Notice = 3,  // route eavesdropped / learned from overheard traffic
-  Repair = 4,  // broken route currently under repair
-};
-inline constexpr std::size_t kRouteEventKindCount = 5;
-
-const char* to_string(AuditPacketType type);
-const char* to_string(FlowDirection dir);
-const char* to_string(RouteEventKind kind);
-
 /// Append-only, per-node audit log. Timestamps within each stream are
 /// non-decreasing because the simulation clock is monotonic.
-class AuditLog {
+class AuditLog final : public AuditSink {
  public:
   /// Records one packet observation. Callers log the specific control type
   /// (e.g. RouteRequest); the RouteAll aggregate is maintained automatically
   /// for control packets. Pass RouteAll directly for encapsulated data at
   /// intermediate hops.
-  void record_packet(SimTime t, AuditPacketType type, FlowDirection dir);
+  void record_packet(SimTime t, AuditPacketType type,
+                     FlowDirection dir) override;
 
   /// Records a route-fabric event.
-  void record_route_event(SimTime t, RouteEventKind kind);
+  void record_route_event(SimTime t, RouteEventKind kind) override;
 
   /// Timestamps of all packets observed for one (type, direction) stream.
   const std::vector<SimTime>& packet_times(AuditPacketType type,

@@ -12,7 +12,6 @@
 
 #include <cstddef>
 #include <memory>
-#include <span>
 #include <vector>
 
 #include "common/status.h"

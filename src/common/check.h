@@ -18,7 +18,6 @@
 // under src/; `static_assert` is of course still fine.
 #pragma once
 
-#include <cstdint>
 #include <sstream>
 
 namespace xfa {

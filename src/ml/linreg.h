@@ -5,7 +5,6 @@
 // difference of prediction from true value."
 #pragma once
 
-#include <cstddef>
 #include <vector>
 
 namespace xfa {

@@ -58,11 +58,11 @@ void Node::register_sink(std::uint32_t flow_id, TransportSink* sink) {
 }
 
 void Node::log_packet(AuditPacketType type, FlowDirection dir) {
-  if (audit_enabled_) audit_.record_packet(sim_.now(), type, dir);
+  if (audit_ != nullptr) audit_->record_packet(sim_.now(), type, dir);
 }
 
 void Node::log_route_event(RouteEventKind kind) {
-  if (audit_enabled_) audit_.record_route_event(sim_.now(), kind);
+  if (audit_ != nullptr) audit_->record_route_event(sim_.now(), kind);
 }
 
 }  // namespace xfa

@@ -6,9 +6,9 @@
 #include <unordered_map>
 #include <vector>
 
-#include "audit/audit.h"
 #include "common/check.h"
 #include "net/packet.h"
+#include "sim/observe.h"
 #include "sim/simulator.h"
 
 namespace xfa {
@@ -70,15 +70,15 @@ class Node {
   NodeId id() const { return id_; }
   Simulator& sim() { return sim_; }
   Channel& channel() { return channel_; }
-  AuditLog& audit() { return audit_; }
-  const AuditLog& audit() const { return audit_; }
 
-  /// Audit recording is off by default (a 10^4-second run generates tens of
-  /// millions of observations network-wide); the scenario runner enables it
-  /// on the monitored node(s) only — matching the paper, which evaluates on
-  /// audit data "collected on one node only".
-  void enable_audit(bool enabled) { audit_enabled_ = enabled; }
-  bool audit_enabled() const { return audit_enabled_; }
+  /// Auditing is off by default (a 10^4-second run generates tens of
+  /// millions of observations network-wide); the scenario runner attaches a
+  /// sink on the monitored node(s) only — matching the paper, which
+  /// evaluates on audit data "collected on one node only". The sink is
+  /// non-owning and must outlive the node (or be detached with nullptr).
+  void attach_audit(AuditSink* sink) { audit_ = sink; }
+  AuditSink* audit_sink() { return audit_; }
+  bool audit_enabled() const { return audit_ != nullptr; }
 
   void set_routing(std::unique_ptr<RoutingProtocol> routing);
   RoutingProtocol& routing() {
@@ -134,8 +134,7 @@ class Node {
   Simulator& sim_;
   Channel& channel_;
   NodeId id_;
-  AuditLog audit_;
-  bool audit_enabled_ = false;
+  AuditSink* audit_ = nullptr;
   std::unique_ptr<RoutingProtocol> routing_;
   std::unordered_map<std::uint32_t, TransportSink*> sinks_;
   std::vector<std::function<bool(const Packet&)>> forward_filters_;

@@ -6,7 +6,6 @@
 // score helpers apply Algorithms 2/3 to whole traces.
 #pragma once
 
-#include <functional>
 #include <string>
 #include <vector>
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "attacks/blackhole.h"
+#include "audit/audit.h"
 #include "attacks/drop_variants.h"
 #include "attacks/dropper.h"
 #include "attacks/storm.h"
@@ -78,7 +79,11 @@ ScenarioResult simulate(const ScenarioConfig& config) {
       nodes.back()->set_routing(std::make_unique<Dsr>(*nodes.back()));
     }
   }
-  nodes[static_cast<std::size_t>(config.monitor_node)]->enable_audit(true);
+  // The runner owns the audit storage; the node only holds the sink
+  // pointer (net/ cannot depend on audit/ under the layering DAG).
+  AuditLog monitor_audit;
+  nodes[static_cast<std::size_t>(config.monitor_node)]->attach_audit(
+      &monitor_audit);
   for (auto& node : nodes) node->routing().start();
 
   // --- Traffic -----------------------------------------------------------
@@ -175,7 +180,7 @@ ScenarioResult simulate(const ScenarioConfig& config) {
   const FeatureSchema schema = FeatureSchema::standard();
   FeatureExtractor extractor(schema, config.sample_interval);
   ScenarioResult result;
-  result.trace = extractor.extract(monitor.audit(), state, config.duration);
+  result.trace = extractor.extract(monitor_audit, state, config.duration);
 
   ScenarioSummary& summary = result.summary;
   for (const auto& node : nodes) {
@@ -194,8 +199,8 @@ ScenarioResult simulate(const ScenarioConfig& config) {
   } else if (const auto* dsr = dynamic_cast<const Dsr*>(&monitor.routing())) {
     summary.monitor_routing = dsr->stats();
   }
-  summary.monitor_audit_packets = monitor.audit().total_packet_records();
-  summary.monitor_audit_route_events = monitor.audit().total_route_events();
+  summary.monitor_audit_packets = monitor_audit.total_packet_records();
+  summary.monitor_audit_route_events = monitor_audit.total_route_events();
   return result;
 }
 

@@ -1,0 +1,77 @@
+// Local-observation vocabulary and the audit-sink interface.
+//
+// The paper's premise is that a MANET node can observe only local activity:
+// packets it sends/receives/forwards/drops, and its own routing-fabric events
+// (route add/removal/find/notice/repair). This header defines that
+// observation vocabulary plus the abstract sink a node reports into.
+//
+// It lives in the simulation band (not in audit/) on purpose: the network
+// layer below must be able to *emit* observations without depending on the
+// analysis machinery above that *stores and consumes* them. audit/ implements
+// the sink; net/ only sees this interface — keeping the module-layering DAG
+// acyclic and downward-only.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace xfa {
+
+/// Packet-type dimension of Table 5. `RouteAll` aggregates every packet that
+/// carries a routing header: all control messages plus encapsulated data at
+/// intermediate hops (the paper: "all activities (including forwarding and
+/// dropping) during the transmission process only involve 'route' packets").
+enum class AuditPacketType : std::uint8_t {
+  Data = 0,
+  RouteAll = 1,
+  RouteRequest = 2,
+  RouteReply = 3,
+  RouteError = 4,
+  Hello = 5,
+};
+inline constexpr std::size_t kAuditPacketTypeCount = 6;
+
+/// Flow-direction dimension of Table 5.
+enum class FlowDirection : std::uint8_t {
+  Received = 0,   // observed at destinations
+  Sent = 1,       // observed at sources
+  Forwarded = 2,  // observed at intermediate routers
+  Dropped = 3,    // observed at routers with no route (or malicious drop)
+};
+inline constexpr std::size_t kFlowDirectionCount = 4;
+
+/// Route-fabric events of Table 4 (Feature Set I).
+enum class RouteEventKind : std::uint8_t {
+  Add = 0,     // route newly added by route discovery
+  Remove = 1,  // stale route being removed
+  Find = 2,    // route found in cache, no re-discovery needed
+  Notice = 3,  // route eavesdropped / learned from overheard traffic
+  Repair = 4,  // broken route currently under repair
+};
+inline constexpr std::size_t kRouteEventKindCount = 5;
+
+const char* to_string(AuditPacketType type);
+const char* to_string(FlowDirection dir);
+const char* to_string(RouteEventKind kind);
+
+/// Where a node's local observations go. A node holds a non-owning pointer
+/// to one of these (null = auditing off, the default — a 10^4-second run
+/// generates tens of millions of observations network-wide, so the scenario
+/// runner attaches a sink on the monitored node only, matching the paper's
+/// "collected on one node only" evaluation).
+class AuditSink {
+ public:
+  virtual ~AuditSink() = default;
+
+  /// One packet observation. Callers report the specific control type
+  /// (e.g. RouteRequest); implementations may maintain aggregates.
+  virtual void record_packet(SimTime t, AuditPacketType type,
+                             FlowDirection dir) = 0;
+
+  /// One route-fabric event.
+  virtual void record_route_event(SimTime t, RouteEventKind kind) = 0;
+};
+
+}  // namespace xfa

@@ -2,7 +2,6 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
 
 #include "net/node.h"
 #include "sim/rng.h"

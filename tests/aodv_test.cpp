@@ -3,6 +3,7 @@
 
 #include <memory>
 
+#include "audit/audit.h"
 #include "mobility/static.h"
 #include "net/channel.h"
 #include "net/node.h"
@@ -116,7 +117,8 @@ struct AodvRig {
     for (NodeId i = 0; i < static_cast<NodeId>(n); ++i) {
       nodes.push_back(std::make_unique<Node>(sim, *channel, i));
       channel->register_node(*nodes.back());
-      nodes.back()->enable_audit(true);
+      audits.push_back(std::make_unique<AuditLog>());
+      nodes.back()->attach_audit(audits.back().get());
       nodes.back()->set_routing(std::make_unique<Aodv>(*nodes.back()));
       nodes.back()->routing().start();
     }
@@ -126,11 +128,15 @@ struct AodvRig {
     return static_cast<Aodv&>(nodes[static_cast<std::size_t>(id)]->routing());
   }
   Node& node(NodeId id) { return *nodes[static_cast<std::size_t>(id)]; }
+  AuditLog& audit(NodeId id) {
+    return *audits[static_cast<std::size_t>(id)];
+  }
 
   Simulator sim;
   StaticPositions mobility;
   std::unique_ptr<Channel> channel;
   std::vector<std::unique_ptr<Node>> nodes;
+  std::vector<std::unique_ptr<AuditLog>> audits;
 };
 
 TEST(AodvAgent, DeliversOverMultipleHops) {
@@ -174,22 +180,20 @@ TEST(AodvAgent, SecondSendUsesCachedRoute) {
   rig.node(0).send_data(2, 1, 0, 512, false);
   rig.sim.run_until(5.0);
   const auto rreq_before =
-      rig.node(0)
-          .audit()
+      rig.audit(0)
           .packet_times(AuditPacketType::RouteRequest, FlowDirection::Sent)
           .size();
   const auto finds_before =
-      rig.node(0).audit().route_event_times(RouteEventKind::Find).size();
+      rig.audit(0).route_event_times(RouteEventKind::Find).size();
   rig.node(0).send_data(2, 1, 1, 512, false);
   rig.sim.run_until(6.0);
   EXPECT_EQ(sink.packets_received(), 2u);
-  EXPECT_EQ(rig.node(0)
-                .audit()
+  EXPECT_EQ(rig.audit(0)
                 .packet_times(AuditPacketType::RouteRequest,
                               FlowDirection::Sent)
                 .size(),
             rreq_before);  // no second discovery
-  EXPECT_EQ(rig.node(0).audit().route_event_times(RouteEventKind::Find).size(),
+  EXPECT_EQ(rig.audit(0).route_event_times(RouteEventKind::Find).size(),
             finds_before + 1);  // logged as a cache find
 }
 
@@ -200,8 +204,7 @@ TEST(AodvAgent, UnreachableDestinationDropsAfterRetries) {
   rig.sim.run_until(30.0);
   EXPECT_EQ(rig.node(1).data_delivered(), 0u);
   // The buffered packet was eventually dropped and audited as such.
-  EXPECT_GE(rig.node(0)
-                .audit()
+  EXPECT_GE(rig.audit(0)
                 .packet_times(AuditPacketType::RouteAll, FlowDirection::Dropped)
                 .size(),
             1u);
@@ -214,8 +217,7 @@ TEST(AodvAgent, HelloBeaconsDiscoverNeighbors) {
   // Each node should have noticed the other via HELLO.
   EXPECT_NE(rig.aodv(0).table().lookup(1, rig.sim.now()), nullptr);
   EXPECT_NE(rig.aodv(1).table().lookup(0, rig.sim.now()), nullptr);
-  EXPECT_GT(rig.node(0)
-                .audit()
+  EXPECT_GT(rig.audit(0)
                 .packet_times(AuditPacketType::Hello, FlowDirection::Received)
                 .size(),
             2u);
@@ -233,13 +235,12 @@ TEST(AodvAgent, LinkBreakTriggersRerrAndRemoval) {
   rig.mobility.move(2, {10000, 10000});
   rig.node(0).send_data(2, 1, 1, 512, false);
   rig.sim.run_until(10.0);
-  EXPECT_GE(rig.node(1)
-                .audit()
+  EXPECT_GE(rig.audit(1)
                 .packet_times(AuditPacketType::RouteError, FlowDirection::Sent)
                 .size(),
             1u);
   EXPECT_GE(
-      rig.node(1).audit().route_event_times(RouteEventKind::Remove).size(),
+      rig.audit(1).route_event_times(RouteEventKind::Remove).size(),
       1u);
 }
 
@@ -292,8 +293,7 @@ TEST(AodvAgent, RerrPropagatesUpstream) {
   rig.mobility.move(3, {100000, 0});
   rig.node(0).send_data(3, 1, 1, 512, false);
   rig.sim.run_until(8.0);
-  EXPECT_GE(rig.node(1)
-                .audit()
+  EXPECT_GE(rig.audit(1)
                 .packet_times(AuditPacketType::RouteError,
                               FlowDirection::Received)
                 .size(),
@@ -354,8 +354,7 @@ TEST(AodvAgent, MaliciousFilterDropsAndAudits) {
   rig.sim.run_until(10.0);
   EXPECT_EQ(sink.packets_received(), 0u);
   EXPECT_GE(rig.aodv(1).stats().data_dropped_malicious, 1u);
-  EXPECT_GE(rig.node(1)
-                .audit()
+  EXPECT_GE(rig.audit(1)
                 .packet_times(AuditPacketType::RouteAll, FlowDirection::Dropped)
                 .size(),
             1u);

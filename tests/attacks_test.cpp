@@ -9,6 +9,7 @@
 #include "attacks/impersonation.h"
 #include "attacks/onoff.h"
 #include "attacks/storm.h"
+#include "audit/audit.h"
 #include "mobility/static.h"
 #include "net/channel.h"
 #include "net/node.h"
@@ -83,17 +84,22 @@ struct AttackRig {
     for (NodeId i = 0; i < static_cast<NodeId>(n); ++i) {
       nodes.push_back(std::make_unique<Node>(sim, *channel, i));
       channel->register_node(*nodes.back());
-      nodes.back()->enable_audit(true);
+      audits.push_back(std::make_unique<AuditLog>());
+      nodes.back()->attach_audit(audits.back().get());
       nodes.back()->set_routing(std::make_unique<Protocol>(*nodes.back()));
       nodes.back()->routing().start();
     }
   }
   Node& node(NodeId id) { return *nodes[static_cast<std::size_t>(id)]; }
+  AuditLog& audit(NodeId id) {
+    return *audits[static_cast<std::size_t>(id)];
+  }
 
   Simulator sim;
   StaticPositions mobility;
   std::unique_ptr<Channel> channel;
   std::vector<std::unique_ptr<Node>> nodes;
+  std::vector<std::unique_ptr<AuditLog>> audits;
 };
 
 TEST(BlackholeAttackTest, AodvAbsorbsTrafficWhileActive) {
@@ -226,15 +232,13 @@ TEST(UpdateStormTest, FloodsDiscoveryTraffic) {
   attack.start();
   rig.sim.run_until(9.0);
   const auto rreq_before =
-      rig.node(3)
-          .audit()
+      rig.audit(3)
           .packet_times(AuditPacketType::RouteRequest,
                         FlowDirection::Received)
           .size();
   rig.sim.run_until(50.0);
   const auto rreq_during =
-      rig.node(3)
-          .audit()
+      rig.audit(3)
           .packet_times(AuditPacketType::RouteRequest,
                         FlowDirection::Received)
           .size() -
@@ -270,8 +274,7 @@ TEST(ImpersonationTest, VictimIsFramedAsSource) {
   for (const NodeId src : sink.sources) EXPECT_EQ(src, 0);
   // The true origin (node 1) shows no data/sent audit records: the forgery
   // is invisible at the network layer, as the paper argues.
-  EXPECT_TRUE(rig.node(1)
-                  .audit()
+  EXPECT_TRUE(rig.audit(1)
                   .packet_times(AuditPacketType::Data, FlowDirection::Sent)
                   .empty());
 }

@@ -3,6 +3,7 @@
 
 #include <memory>
 
+#include "audit/audit.h"
 #include "mobility/static.h"
 #include "net/channel.h"
 #include "net/node.h"
@@ -94,7 +95,8 @@ struct DsrRig {
     for (NodeId i = 0; i < static_cast<NodeId>(n); ++i) {
       nodes.push_back(std::make_unique<Node>(sim, *channel, i));
       channel->register_node(*nodes.back());
-      nodes.back()->enable_audit(true);
+      audits.push_back(std::make_unique<AuditLog>());
+      nodes.back()->attach_audit(audits.back().get());
       nodes.back()->set_routing(std::make_unique<Dsr>(*nodes.back()));
       nodes.back()->routing().start();
     }
@@ -104,11 +106,15 @@ struct DsrRig {
     return static_cast<Dsr&>(nodes[static_cast<std::size_t>(id)]->routing());
   }
   Node& node(NodeId id) { return *nodes[static_cast<std::size_t>(id)]; }
+  AuditLog& audit(NodeId id) {
+    return *audits[static_cast<std::size_t>(id)];
+  }
 
   Simulator sim;
   StaticPositions mobility;
   std::unique_ptr<Channel> channel;
   std::vector<std::unique_ptr<Node>> nodes;
+  std::vector<std::unique_ptr<AuditLog>> audits;
 };
 
 TEST(DsrAgent, DeliversOverMultipleHops) {
@@ -137,11 +143,11 @@ TEST(DsrAgent, SecondSendIsCacheFind) {
   rig.node(0).send_data(2, 1, 0, 512, false);
   rig.sim.run_until(5.0);
   const auto finds_before =
-      rig.node(0).audit().route_event_times(RouteEventKind::Find).size();
+      rig.audit(0).route_event_times(RouteEventKind::Find).size();
   rig.node(0).send_data(2, 1, 1, 512, false);
   rig.sim.run_until(6.0);
   EXPECT_EQ(sink.packets_received(), 2u);
-  EXPECT_EQ(rig.node(0).audit().route_event_times(RouteEventKind::Find).size(),
+  EXPECT_EQ(rig.audit(0).route_event_times(RouteEventKind::Find).size(),
             finds_before + 1);
 }
 
@@ -154,7 +160,7 @@ TEST(DsrAgent, PromiscuousNoticeLearnsRoutesFromOverhearing) {
   // Node 0 and node 2 are out of each other's range, but node 0's unicasts
   // to node 1 were overheard... the interesting overhearer is node 2's side:
   // every node that heard traffic should have learned something.
-  EXPECT_GT(rig.node(1).audit().route_event_times(RouteEventKind::Notice)
+  EXPECT_GT(rig.audit(1).route_event_times(RouteEventKind::Notice)
                 .size(),
             0u);
 }
@@ -171,12 +177,12 @@ TEST(DsrAgent, IntermediateCacheReply) {
 
   // Now node 0 discovers 3: node 1 can answer from cache.
   const auto finds_before =
-      rig.node(1).audit().route_event_times(RouteEventKind::Find).size();
+      rig.audit(1).route_event_times(RouteEventKind::Find).size();
   CbrSink sink3b(rig.node(3), 3);
   rig.node(0).send_data(3, 3, 0, 512, false);
   rig.sim.run_until(10.0);
   EXPECT_EQ(sink3b.packets_received(), 1u);
-  EXPECT_GE(rig.node(1).audit().route_event_times(RouteEventKind::Find).size(),
+  EXPECT_GE(rig.audit(1).route_event_times(RouteEventKind::Find).size(),
             finds_before);
 }
 
@@ -191,13 +197,12 @@ TEST(DsrAgent, LinkBreakSalvageOrRerr) {
   rig.node(0).send_data(3, 1, 1, 512, false);
   rig.sim.run_until(10.0);
   // Node 2 (the failure point) reported the broken link.
-  EXPECT_GE(rig.node(2)
-                .audit()
+  EXPECT_GE(rig.audit(2)
                 .packet_times(AuditPacketType::RouteError, FlowDirection::Sent)
                 .size(),
             1u);
   EXPECT_GE(
-      rig.node(2).audit().route_event_times(RouteEventKind::Remove).size(),
+      rig.audit(2).route_event_times(RouteEventKind::Remove).size(),
       1u);
 }
 
@@ -221,8 +226,7 @@ TEST(DsrAgent, RerrReachesSourceAndCleansItsCache) {
   rig.node(0).send_data(3, 1, 1, 512, false);
   rig.sim.run_until(10.0);
   // The source heard the ROUTE ERROR (relayed through node 1).
-  EXPECT_GE(rig.node(0)
-                .audit()
+  EXPECT_GE(rig.audit(0)
                 .packet_times(AuditPacketType::RouteError,
                               FlowDirection::Received)
                 .size(),

@@ -1,0 +1,4 @@
+#pragma once
+struct Log {
+  int count = 0;
+};

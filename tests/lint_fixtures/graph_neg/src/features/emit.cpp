@@ -1,0 +1,5 @@
+#include <unordered_map>
+#include <cstdio>
+void emit(const std::unordered_map<int, int>& counts) {
+  for (const auto& kv : counts) std::printf("%d %d\n", kv.first, kv.second);
+}

@@ -1,0 +1,2 @@
+#include "net/up.h"
+void Up::push() { log.count += 1; }

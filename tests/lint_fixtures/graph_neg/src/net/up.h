@@ -1,0 +1,7 @@
+#pragma once
+#include "audit/log.h"
+#include "common/base.h"
+struct Up {
+  Log log;
+  void push();
+};

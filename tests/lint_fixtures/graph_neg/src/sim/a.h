@@ -1,0 +1,5 @@
+#pragma once
+#include "sim/b.h"
+struct A {
+  int weight = 0;
+};

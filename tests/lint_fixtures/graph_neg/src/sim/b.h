@@ -1,0 +1,5 @@
+#pragma once
+#include "sim/a.h"
+struct B {
+  int weight = 0;
+};

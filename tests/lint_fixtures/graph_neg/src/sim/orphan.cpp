@@ -1,0 +1,2 @@
+#include "sim/a.h"
+int orphan_weight(const A& a) { return a.weight; }

@@ -1,0 +1,4 @@
+#pragma once
+struct Base {
+  int id = 0;
+};

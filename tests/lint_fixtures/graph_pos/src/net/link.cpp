@@ -1,0 +1,2 @@
+#include "net/link.h"
+void Link::pump() { engine.tick(); }

@@ -1,0 +1,6 @@
+#pragma once
+#include "sim/engine.h"
+struct Link {
+  Engine engine;
+  void pump();
+};

@@ -1,0 +1,2 @@
+#include "sim/engine.h"
+void Engine::tick() { base.id += 1; }

@@ -1,0 +1,6 @@
+#pragma once
+#include "common/base.h"
+struct Engine {
+  Base base;
+  void tick();
+};

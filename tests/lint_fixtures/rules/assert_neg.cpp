@@ -1,0 +1,2 @@
+#include "common/check.h"
+void f(int x) { XFA_CHECK_GT(x, 0); }

@@ -1,0 +1,11 @@
+// Everything here is immutable, scoped, or a type — no findings.
+constexpr int kLimit = 8;
+const double kRatio = 0.25;
+namespace demo {
+enum class Mode { A, B };
+struct Counters { int live = 0; };
+int bump() {
+  static int local_ok = 0;  // function-local static: allowed
+  return ++local_ok;
+}
+}  // namespace demo

@@ -1,0 +1,2 @@
+int live_packet_count;
+static double drop_ratio = 0.0;

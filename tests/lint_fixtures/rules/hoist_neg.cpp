@@ -1,0 +1,8 @@
+struct Mob { double position(int) const; };
+struct Chan {
+  Mob mobility_;
+  void fan_out(int n) {
+    double origin = mobility_.position(0);  // hoisted: outside any loop
+    for (int i = 0; i < n; ++i) (void)origin;
+  }
+};

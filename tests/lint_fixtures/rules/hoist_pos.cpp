@@ -1,0 +1,10 @@
+struct Mob { double position(int) const; };
+struct Chan {
+  Mob mobility_;
+  void fan_out(int n) {
+    for (int i = 0; i < n; ++i) {
+      double p = mobility_.position(i);
+      (void)p;
+    }
+  }
+};

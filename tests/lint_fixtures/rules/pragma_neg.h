@@ -1,0 +1,3 @@
+// A leading comment block is fine; the first real token is the directive.
+#pragma once
+int guarded();

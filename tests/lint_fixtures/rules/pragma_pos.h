@@ -1,0 +1,2 @@
+// A header with a leading comment but no #pragma once.
+int missing_guard();

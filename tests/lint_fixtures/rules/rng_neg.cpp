@@ -1,0 +1,4 @@
+// Same trigger spellings, but this fixture is linted as sim/rng.cpp — the
+// one module allowed to touch raw entropy sources.
+#include <cstdlib>
+void seed_centrally() { srand(42); }

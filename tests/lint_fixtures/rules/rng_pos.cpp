@@ -1,0 +1,7 @@
+#include <cstdlib>
+void seed_badly() {
+  srand(42);
+  int x = std::rand();
+  (void)x;
+}
+long stamp() { return time(nullptr); }

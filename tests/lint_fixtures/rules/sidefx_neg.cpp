@@ -1,0 +1,6 @@
+#include "common/check.h"
+void f(int count, int total) {
+  XFA_CHECK_GT(count, 0);
+  // A lambda capture default inside a check argument is not a mutation.
+  XFA_CHECK([=] { return count + total; }() > 0);
+}

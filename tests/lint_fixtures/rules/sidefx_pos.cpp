@@ -1,0 +1,5 @@
+#include "common/check.h"
+void f(int count, int total) {
+  XFA_CHECK(count++ > 0);
+  XFA_CHECK_EQ(total += count, 1);
+}

@@ -1,0 +1,3 @@
+// No file I/O headers in this scenario TU, so contracts may abort.
+#include "common/check.h"
+void tick(int step) { XFA_CHECK_GE(step, 0); }

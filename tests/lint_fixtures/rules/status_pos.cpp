@@ -1,0 +1,6 @@
+#include <fstream>
+#include "common/check.h"
+void load(const char* path) {
+  std::ifstream in(path);
+  XFA_CHECK(in.good());
+}

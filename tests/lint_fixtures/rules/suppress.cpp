@@ -1,0 +1,10 @@
+#include <cstdlib>
+void seeded() {
+  // xfa-lint: allow(rng-determinism) fixture demonstrates suppression
+  srand(7);
+}
+void stale() {
+  // xfa-lint: allow(no-raw-assert) nothing below ever fires this rule
+  int x = 0;
+  (void)x;
+}

@@ -1,0 +1,6 @@
+// Linted as exec/pool_impl.cpp: the execution layer may own raw threads.
+#include <thread>
+void spawn() {
+  std::thread worker([] {});
+  worker.join();
+}

@@ -1,0 +1,5 @@
+#include <thread>
+void spawn() {
+  std::thread worker([] {});
+  worker.join();
+}

@@ -1,0 +1,22 @@
+// Trap file: every token rule's trigger text appears below, but only inside
+// comments, string literals, char literals, and raw strings. A token-level
+// scanner must stay silent on this file; the legacy regex scanner fired on
+// most of these.
+//
+// srand(42); std::rand(); time(nullptr); random_device rd;
+// assert(x == 1);
+// std::thread t([]{});
+/* block comment trap: XFA_CHECK(count++); mobility_.position(i) */
+
+const char* kText =
+    "srand(1); assert(0); std::thread worker; predict_dist(row);";
+const char* kRaw = R"lint(
+  for (auto& kv : unordered_map_) {}
+  int global_mutable_counter;
+  XFA_CHECK(total += 1);
+)lint";
+const char kAssert[] = "assert";
+constexpr char kPlus = '+';
+
+// The one real statement keeps the file non-trivial for the lexer.
+constexpr int kAnswer = 40 + 2;

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "audit/audit.h"
 #include "mobility/waypoint.h"
 #include "net/channel.h"
 #include "net/node.h"
@@ -218,12 +219,12 @@ TEST(ChannelTest, UidAssignedOnTransmit) {
 TEST(NodeTest, SendDataLogsAuditAndRoutesToProtocol) {
   Rig rig(1, 10.0);
   Node& node = *rig.nodes[0];
-  node.enable_audit(true);
+  AuditLog log;
+  node.attach_audit(&log);
   node.send_data(5, 1, 0, 512, false);
   ASSERT_EQ(rig.protocols[0]->sent.size(), 1u);
   EXPECT_EQ(rig.protocols[0]->sent[0].dst, 5);
-  EXPECT_EQ(node.audit()
-                .packet_times(AuditPacketType::Data, FlowDirection::Sent)
+  EXPECT_EQ(log.packet_times(AuditPacketType::Data, FlowDirection::Sent)
                 .size(),
             1u);
   EXPECT_EQ(node.data_originated(), 1u);
@@ -232,7 +233,8 @@ TEST(NodeTest, SendDataLogsAuditAndRoutesToProtocol) {
 TEST(NodeTest, DeliverToTransportInvokesSink) {
   Rig rig(1, 10.0);
   Node& node = *rig.nodes[0];
-  node.enable_audit(true);
+  AuditLog log;
+  node.attach_audit(&log);
 
   struct CountingSink final : TransportSink {
     void deliver(const Packet&) override { ++count; }
@@ -247,8 +249,7 @@ TEST(NodeTest, DeliverToTransportInvokesSink) {
   node.deliver_to_transport(pkt);
   EXPECT_EQ(sink.count, 1);
   EXPECT_EQ(node.data_delivered(), 1u);
-  EXPECT_EQ(node.audit()
-                .packet_times(AuditPacketType::Data, FlowDirection::Received)
+  EXPECT_EQ(log.packet_times(AuditPacketType::Data, FlowDirection::Received)
                 .size(),
             1u);
 }
@@ -274,10 +275,15 @@ TEST(NodeTest, ForwardFiltersCompose) {
 TEST(NodeTest, AuditDisabledByDefault) {
   Rig rig(1, 10.0);
   Node& node = *rig.nodes[0];
+  EXPECT_FALSE(node.audit_enabled());
+  // With no sink attached, observations are dropped, not stored.
   node.log_packet(AuditPacketType::Data, FlowDirection::Sent);
   node.log_route_event(RouteEventKind::Add);
-  EXPECT_EQ(node.audit().total_packet_records(), 0u);
-  EXPECT_EQ(node.audit().total_route_events(), 0u);
+  AuditLog log;
+  node.attach_audit(&log);
+  EXPECT_TRUE(node.audit_enabled());
+  EXPECT_EQ(log.total_packet_records(), 0u);
+  EXPECT_EQ(log.total_route_events(), 0u);
 }
 
 }  // namespace

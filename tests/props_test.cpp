@@ -6,6 +6,7 @@
 
 #include "attacks/blackhole.h"
 #include "attacks/storm.h"
+#include "audit/audit.h"
 #include "mobility/static.h"
 #include "net/channel.h"
 #include "net/node.h"
@@ -27,7 +28,8 @@ struct Rig {
     for (NodeId i = 0; i < static_cast<NodeId>(n); ++i) {
       nodes.push_back(std::make_unique<Node>(sim, *channel, i));
       channel->register_node(*nodes.back());
-      nodes.back()->enable_audit(true);
+      audits.push_back(std::make_unique<AuditLog>());
+      nodes.back()->attach_audit(audits.back().get());
       nodes.back()->set_routing(std::make_unique<Aodv>(*nodes.back()));
       nodes.back()->routing().start();
     }
@@ -36,11 +38,15 @@ struct Rig {
     return static_cast<Aodv&>(nodes[static_cast<std::size_t>(id)]->routing());
   }
   Node& node(NodeId id) { return *nodes[static_cast<std::size_t>(id)]; }
+  AuditLog& audit(NodeId id) {
+    return *audits[static_cast<std::size_t>(id)];
+  }
 
   Simulator sim;
   StaticPositions mobility;
   std::unique_ptr<Channel> channel;
   std::vector<std::unique_ptr<Node>> nodes;
+  std::vector<std::unique_ptr<AuditLog>> audits;
 };
 
 TEST(PaperProperties, BlackholePoisonHoldsWhileAdvertised) {
@@ -80,14 +86,12 @@ TEST(PaperProperties, StormInflatesMonitorRreqObservations) {
   clean.sim.run_until(100.0);
   stormy.sim.run_until(100.0);
   const auto clean_rreq =
-      clean.node(0)
-          .audit()
+      clean.audit(0)
           .packet_times(AuditPacketType::RouteRequest,
                         FlowDirection::Received)
           .size();
   const auto stormy_rreq =
-      stormy.node(0)
-          .audit()
+      stormy.audit(0)
           .packet_times(AuditPacketType::RouteRequest,
                         FlowDirection::Received)
           .size();

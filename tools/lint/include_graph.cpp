@@ -1,0 +1,75 @@
+#include "lint/include_graph.h"
+
+#include <array>
+#include <utility>
+
+namespace xfa::lint {
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+    s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r'))
+    s.remove_suffix(1);
+  return s;
+}
+
+}  // namespace
+
+std::vector<IncludeEdge> extract_includes(const SourceFile& file) {
+  std::vector<IncludeEdge> edges;
+  for (const Token& t : file.tokens) {
+    if (t.kind != TokenKind::kPreprocessor) continue;
+    std::string_view text = file.tok(t);
+    if (text.empty() || text.front() != '#') continue;
+    text.remove_prefix(1);
+    text = trim(text);
+    if (text.substr(0, 7) != "include") continue;
+    text = trim(text.substr(7));
+    if (text.empty()) continue;
+    IncludeEdge edge;
+    edge.line = t.line;
+    char close;
+    if (text.front() == '"') {
+      edge.quoted = true;
+      close = '"';
+    } else if (text.front() == '<') {
+      edge.quoted = false;
+      close = '>';
+    } else {
+      continue;  // computed include — out of scope
+    }
+    text.remove_prefix(1);
+    const std::size_t end = text.find(close);
+    if (end == std::string_view::npos) continue;
+    edge.target = std::string{text.substr(0, end)};
+    edges.push_back(std::move(edge));
+  }
+  return edges;
+}
+
+int layer_band(std::string_view module) {
+  static constexpr std::array<std::pair<std::string_view, int>, 15> kBands = {{
+      {"common", 0},
+      {"exec", 0},
+      {"sim", 1},
+      {"net", 1},
+      {"mobility", 1},
+      {"routing", 2},
+      {"transport", 2},
+      {"attacks", 2},
+      {"faults", 2},
+      {"audit", 2},
+      {"features", 3},
+      {"ml", 3},
+      {"cfa", 3},
+      {"eval", 3},
+      {"scenario", 3},
+  }};
+  for (const auto& [name, band] : kBands)
+    if (name == module) return band;
+  return -1;
+}
+
+}  // namespace xfa::lint

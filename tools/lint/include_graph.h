@@ -1,0 +1,32 @@
+// Include extraction and the declared module-layering DAG.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/model.h"
+
+namespace xfa::lint {
+
+struct IncludeEdge {
+  std::string target;  // "net/node.h" (quoted) or "vector" (angle)
+  bool quoted = false;
+  std::uint32_t line = 0;
+};
+
+/// Parses the #include directives out of a lexed file.
+std::vector<IncludeEdge> extract_includes(const SourceFile& file);
+
+/// The declared layering band of a module directory under src/, bottom = 0:
+///   0: common, exec
+///   1: sim, net, mobility
+///   2: routing, transport, attacks, faults, audit
+///   3: features, ml, cfa, eval, scenario
+/// A module may include same-band or lower-band modules (the include-cycle
+/// rule separately rejects loops); an upward edge is a layering violation.
+/// Returns -1 for a directory not in the map.
+int layer_band(std::string_view module);
+
+}  // namespace xfa::lint

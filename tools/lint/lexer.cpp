@@ -1,0 +1,337 @@
+#include "lint/token.h"
+
+#include <array>
+#include <string>
+#include <unordered_set>
+
+namespace xfa::lint {
+namespace {
+
+bool ident_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool digit(char c) { return c >= '0' && c <= '9'; }
+bool ident_char(char c) { return ident_start(c) || digit(c); }
+
+/// Byte cursor with 1-based line/col tracking.
+struct Cursor {
+  std::string_view s;
+  std::size_t i = 0;
+  std::uint32_t line = 1;
+  std::uint32_t col = 1;
+
+  bool eof() const { return i >= s.size(); }
+  char peek(std::size_t k = 0) const {
+    return i + k < s.size() ? s[i + k] : '\0';
+  }
+  void advance() {
+    if (s[i] == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+    ++i;
+  }
+  void advance_n(std::size_t n) {
+    for (std::size_t k = 0; k < n && !eof(); ++k) advance();
+  }
+
+  /// A backslash followed by (optionally \r and) \n: a spliced line.
+  bool at_line_splice() const {
+    if (peek() != '\\') return false;
+    if (peek(1) == '\n') return true;
+    return peek(1) == '\r' && peek(2) == '\n';
+  }
+  void skip_line_splice() {
+    advance();                        // backslash
+    if (peek() == '\r') advance();    // optional CR
+    if (peek() == '\n') advance();    // newline
+  }
+};
+
+/// Consumes a "..." or '...' literal body after the opening quote, honoring
+/// backslash escapes. Stops (without consuming) at an unescaped newline so a
+/// missing closing quote cannot eat the rest of the file.
+void consume_quoted(Cursor& c, char quote) {
+  while (!c.eof()) {
+    const char ch = c.peek();
+    if (ch == '\\') {
+      if (c.at_line_splice()) {
+        c.skip_line_splice();
+        continue;
+      }
+      c.advance();
+      if (!c.eof()) c.advance();  // the escaped character
+      continue;
+    }
+    if (ch == '\n') return;  // unterminated; recover at end of line
+    c.advance();
+    if (ch == quote) return;
+  }
+}
+
+/// Consumes R"delim( ... )delim" after the opening R has been recognized;
+/// the cursor sits on the double quote.
+void consume_raw_string(Cursor& c) {
+  c.advance();  // opening quote
+  std::string delim;
+  while (!c.eof() && c.peek() != '(' && c.peek() != '\n' &&
+         delim.size() <= 16) {
+    delim.push_back(c.peek());
+    c.advance();
+  }
+  if (c.eof() || c.peek() != '(') return;  // malformed; stop here
+  c.advance();                             // '('
+  const std::string close = ")" + delim + "\"";
+  while (!c.eof()) {
+    if (c.peek() == ')' && c.s.compare(c.i, close.size(), close) == 0) {
+      c.advance_n(close.size());
+      return;
+    }
+    c.advance();
+  }
+}
+
+/// Consumes a pp-number: digits, identifier chars, '.', digit separators
+/// ('\'' between digits), and signed exponents (e+ / E- / p+ / P-).
+void consume_number(Cursor& c) {
+  while (!c.eof()) {
+    const char ch = c.peek();
+    if (ident_char(ch) || ch == '.') {
+      c.advance();
+      continue;
+    }
+    if (ch == '\'' && ident_char(c.peek(1))) {  // digit separator
+      c.advance();
+      c.advance();
+      continue;
+    }
+    if ((ch == '+' || ch == '-') && c.i > 0) {
+      const char prev = c.s[c.i - 1];
+      if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+        c.advance();
+        continue;
+      }
+    }
+    return;
+  }
+}
+
+/// Consumes a // comment, honoring spliced lines (a trailing backslash
+/// continues the comment onto the next physical line).
+void consume_line_comment(Cursor& c) {
+  while (!c.eof()) {
+    if (c.at_line_splice()) {
+      c.skip_line_splice();
+      continue;
+    }
+    if (c.peek() == '\n') return;
+    c.advance();
+  }
+}
+
+/// Consumes a block comment through the first "*/" (block comments do not
+/// nest in C++; an inner "/*" is plain comment text).
+void consume_block_comment(Cursor& c) {
+  while (!c.eof()) {
+    if (c.peek() == '*' && c.peek(1) == '/') {
+      c.advance();
+      c.advance();
+      return;
+    }
+    c.advance();
+  }
+}
+
+/// Consumes one whole preprocessor directive (the cursor sits on '#'): up to
+/// the end of the logical line, crossing spliced lines, skipping comments and
+/// quoted regions so a '\n' inside them never ends the directive early.
+void consume_directive(Cursor& c) {
+  while (!c.eof()) {
+    if (c.at_line_splice()) {
+      c.skip_line_splice();
+      continue;
+    }
+    const char ch = c.peek();
+    if (ch == '\n') return;
+    if (ch == '/' && c.peek(1) == '/') {
+      consume_line_comment(c);
+      return;
+    }
+    if (ch == '/' && c.peek(1) == '*') {
+      c.advance();
+      c.advance();
+      consume_block_comment(c);
+      continue;
+    }
+    if (ch == '"' || ch == '\'') {
+      c.advance();
+      consume_quoted(c, ch);
+      continue;
+    }
+    c.advance();
+  }
+}
+
+/// Multi-character operators, longest first within each leading character.
+constexpr std::array<std::string_view, 21> kLongPuncts = {
+    "<<=", ">>=", "->*", "...", "<=>", "::", "->", "++", "--",
+    "<<",  ">>",  "<=",  ">=",  "==",  "!=", "&&", "||", "+=",
+    "-=",  "##",  ".*",
+};
+constexpr std::array<std::string_view, 5> kCompoundAssign = {"*=", "/=", "%=",
+                                                             "&=", "|="};
+
+std::size_t punct_length(std::string_view rest) {
+  for (const std::string_view op : kLongPuncts)
+    if (rest.substr(0, op.size()) == op) return op.size();
+  for (const std::string_view op : kCompoundAssign)
+    if (rest.substr(0, op.size()) == op) return op.size();
+  if (rest.substr(0, 2) == "^=") return 2;
+  return 1;
+}
+
+/// Raw-string / encoding prefix lengths: returns the prefix length when the
+/// characters at `rest` begin a string or char literal with that prefix, and
+/// sets `raw` when it is a raw string. 0 when not a prefixed literal.
+std::size_t literal_prefix(std::string_view rest, bool& raw) {
+  static constexpr std::array<std::string_view, 5> kRaw = {"R\"", "u8R\"",
+                                                           "uR\"", "UR\"",
+                                                           "LR\""};
+  for (const std::string_view p : kRaw) {
+    if (rest.substr(0, p.size()) == p) {
+      raw = true;
+      return p.size() - 1;  // length up to (not including) the quote
+    }
+  }
+  static constexpr std::array<std::string_view, 4> kEnc = {"u8", "u", "U",
+                                                           "L"};
+  for (const std::string_view p : kEnc) {
+    if (rest.substr(0, p.size()) == p &&
+        (rest.size() > p.size() &&
+         (rest[p.size()] == '"' || rest[p.size()] == '\''))) {
+      raw = false;
+      return p.size();
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+bool is_cpp_keyword(std::string_view word) {
+  static const std::unordered_set<std::string_view> kKeywords = {
+      "alignas",      "alignof",      "and",           "and_eq",
+      "asm",          "auto",         "bitand",        "bitor",
+      "bool",         "break",        "case",          "catch",
+      "char",         "char8_t",      "char16_t",      "char32_t",
+      "class",        "co_await",     "co_return",     "co_yield",
+      "compl",        "concept",      "const",         "const_cast",
+      "consteval",    "constexpr",    "constinit",     "continue",
+      "decltype",     "default",      "delete",        "do",
+      "double",       "dynamic_cast", "else",          "enum",
+      "explicit",     "export",       "extern",        "false",
+      "float",        "for",          "friend",        "goto",
+      "if",           "inline",       "int",           "long",
+      "mutable",      "namespace",    "new",           "noexcept",
+      "not",          "not_eq",       "nullptr",       "operator",
+      "or",           "or_eq",        "private",       "protected",
+      "public",       "register",     "reinterpret_cast", "requires",
+      "return",       "short",        "signed",        "sizeof",
+      "static",       "static_assert", "static_cast",  "struct",
+      "switch",       "template",     "this",          "thread_local",
+      "throw",        "true",         "try",           "typedef",
+      "typeid",       "typename",     "union",         "unsigned",
+      "using",        "virtual",      "void",          "volatile",
+      "wchar_t",      "while",        "xor",           "xor_eq",
+  };
+  return kKeywords.count(word) != 0;
+}
+
+std::vector<Token> lex(std::string_view text) {
+  std::vector<Token> tokens;
+  Cursor c{text};
+  bool line_has_code = false;  // a '#' only opens a directive at line start
+
+  while (!c.eof()) {
+    const char ch = c.peek();
+    if (ch == '\n') {
+      line_has_code = false;
+      c.advance();
+      continue;
+    }
+    if (ch == ' ' || ch == '\t' || ch == '\r' || ch == '\v' || ch == '\f') {
+      c.advance();
+      continue;
+    }
+    if (c.at_line_splice()) {
+      c.skip_line_splice();
+      continue;
+    }
+
+    Token t;
+    t.offset = static_cast<std::uint32_t>(c.i);
+    t.line = c.line;
+    t.col = c.col;
+
+    if (ch == '/' && c.peek(1) == '/') {
+      consume_line_comment(c);
+      t.kind = TokenKind::kComment;
+    } else if (ch == '/' && c.peek(1) == '*') {
+      c.advance();
+      c.advance();
+      consume_block_comment(c);
+      t.kind = TokenKind::kComment;
+    } else if (ch == '#' && !line_has_code) {
+      consume_directive(c);
+      t.kind = TokenKind::kPreprocessor;
+    } else if (ch == '"') {
+      c.advance();
+      consume_quoted(c, '"');
+      t.kind = TokenKind::kString;
+      line_has_code = true;
+    } else if (ch == '\'') {
+      c.advance();
+      consume_quoted(c, '\'');
+      t.kind = TokenKind::kCharLit;
+      line_has_code = true;
+    } else if (digit(ch) || (ch == '.' && digit(c.peek(1)))) {
+      consume_number(c);
+      t.kind = TokenKind::kNumber;
+      line_has_code = true;
+    } else if (ident_start(ch)) {
+      bool raw = false;
+      const std::size_t prefix = literal_prefix(text.substr(c.i), raw);
+      if (prefix > 0) {
+        c.advance_n(prefix);
+        if (raw) {
+          consume_raw_string(c);
+          t.kind = TokenKind::kString;
+        } else {
+          const char quote = c.peek();
+          c.advance();
+          consume_quoted(c, quote);
+          t.kind = quote == '"' ? TokenKind::kString : TokenKind::kCharLit;
+        }
+      } else {
+        while (!c.eof() && ident_char(c.peek())) c.advance();
+        const std::string_view word =
+            text.substr(t.offset, c.i - t.offset);
+        t.kind = is_cpp_keyword(word) ? TokenKind::kKeyword
+                                      : TokenKind::kIdentifier;
+      }
+      line_has_code = true;
+    } else {
+      c.advance_n(punct_length(text.substr(c.i)));
+      t.kind = TokenKind::kPunct;
+      line_has_code = true;
+    }
+
+    t.length = static_cast<std::uint32_t>(c.i - t.offset);
+    tokens.push_back(t);
+  }
+  return tokens;
+}
+
+}  // namespace xfa::lint

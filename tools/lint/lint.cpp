@@ -1,0 +1,119 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "exec/parallel_for.h"
+#include "exec/thread_pool.h"
+
+namespace xfa::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Marks findings covered by an allow comment (same line or the line
+/// below the comment) and flips the suppression's `used` bit.
+void apply_suppressions(SourceFile& file, std::vector<Finding>& findings) {
+  for (Finding& f : findings) {
+    if (f.file != file.rel || f.suppressed) continue;
+    for (Suppression& s : file.suppressions) {
+      if (s.rule != "*" && s.rule != f.rule) continue;
+      if (f.line != s.line && f.line != s.line + 1) continue;
+      f.suppressed = true;
+      f.suppress_reason = s.reason;
+      s.used = true;
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+LintResult finalize(Project project, std::vector<Finding> findings) {
+  for (SourceFile& file : project.files) apply_suppressions(file, findings);
+
+  LintResult result;
+  result.files_scanned = project.files.size();
+  for (Finding& f : findings)
+    (f.suppressed ? result.suppressed : result.findings)
+        .push_back(std::move(f));
+  for (const SourceFile& file : project.files) {
+    for (const Suppression& s : file.suppressions) {
+      if (!s.used) {
+        Suppression stale = s;
+        stale.reason = "src/" + file.rel;  // repurposed as location for report
+        result.unused_suppressions.push_back(std::move(stale));
+      }
+    }
+  }
+
+  const auto order = [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.col, a.rule) <
+           std::tie(b.file, b.line, b.col, b.rule);
+  };
+  std::sort(result.findings.begin(), result.findings.end(), order);
+  std::sort(result.suppressed.begin(), result.suppressed.end(), order);
+  return result;
+}
+
+LintResult run_lint(const std::string& repo_root, std::size_t threads) {
+  const fs::path src_root = fs::path{repo_root} / "src";
+
+  // Deterministic file list, sorted by rel path.
+  std::vector<std::pair<std::string, fs::path>> entries;
+  for (const auto& entry : fs::recursive_directory_iterator(src_root)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".h" && ext != ".cpp") continue;
+    entries.emplace_back(
+        fs::relative(entry.path(), src_root).generic_string(), entry.path());
+  }
+  std::sort(entries.begin(), entries.end());
+
+  // Read + lex in parallel; slot-indexed writes keep the result identical
+  // for any pool size.
+  if (threads != 0) resize_shared_pool(threads);
+  std::vector<SourceFile> files(entries.size());
+  parallel_for(shared_pool(), entries.size(), [&](std::size_t i) {
+    files[i] = make_source_file(entries[i].first, read_file(entries[i].second));
+  });
+
+  Project project;
+  project.files = std::move(files);
+  project.cmake_text = read_file(src_root / "CMakeLists.txt");
+
+  // File rules in parallel with per-slot finding buckets, concatenated in
+  // file order afterwards (ordering is finalized by the sort anyway, but
+  // staying deterministic end-to-end keeps intermediate debugging sane).
+  std::vector<std::vector<Finding>> buckets(project.files.size());
+  parallel_for(shared_pool(), project.files.size(), [&](std::size_t i) {
+    run_file_rules(project.files[i], buckets[i]);
+  });
+  std::vector<Finding> findings;
+  for (std::vector<Finding>& bucket : buckets)
+    for (Finding& f : bucket) findings.push_back(std::move(f));
+
+  run_project_rules(project, findings);
+  return finalize(std::move(project), std::move(findings));
+}
+
+LintResult lint_source(std::string rel, std::string text) {
+  Project project;
+  project.files.push_back(make_source_file(std::move(rel), std::move(text)));
+  std::vector<Finding> findings;
+  run_file_rules(project.files.front(), findings);
+  return finalize(std::move(project), std::move(findings));
+}
+
+}  // namespace xfa::lint

@@ -1,0 +1,26 @@
+// Lint-run orchestration: scan a repo root, run every rule, fold in
+// suppressions, and return a deterministically ordered LintResult.
+#pragma once
+
+#include <string>
+
+#include "lint/report.h"
+#include "lint/rules.h"
+
+namespace xfa::lint {
+
+/// Scans `<repo_root>/src` (every .h/.cpp, recursively), lexes the files in
+/// parallel on the shared pool, runs file rules per TU and project rules on
+/// the assembled tree. `threads` = 0 keeps the pool's default size.
+LintResult run_lint(const std::string& repo_root, std::size_t threads = 0);
+
+/// Runs only the single-file rules over one in-memory file — the unit-test
+/// entry point. `rel` chooses directory-scoped rule behavior
+/// ("net/fake.cpp" arms hoist-or-grid, etc.).
+LintResult lint_source(std::string rel, std::string text);
+
+/// Shared by both entry points: applies suppressions, partitions findings,
+/// and sorts everything into the canonical report order.
+LintResult finalize(Project project, std::vector<Finding> findings);
+
+}  // namespace xfa::lint

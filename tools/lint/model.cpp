@@ -1,0 +1,64 @@
+#include "lint/model.h"
+
+namespace xfa::lint {
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+    s.remove_prefix(1);
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r' ||
+          s.back() == '\n' || s.back() == '/' || s.back() == '*'))
+    s.remove_suffix(1);
+  return s;
+}
+
+/// Parses `xfa-lint: allow(rule-a, rule-b) reason...` occurrences inside a
+/// comment token's text. Several rules may share one allow(); the reason is
+/// everything after the closing paren.
+void parse_suppressions(std::string_view comment, std::uint32_t line,
+                        std::vector<Suppression>& out) {
+  static constexpr std::string_view kMarker = "xfa-lint:";
+  const std::size_t marker = comment.find(kMarker);
+  if (marker == std::string_view::npos) return;
+  std::string_view rest = comment.substr(marker + kMarker.size());
+  const std::size_t open = rest.find("allow(");
+  if (open == std::string_view::npos) return;
+  rest.remove_prefix(open + 6);
+  const std::size_t close = rest.find(')');
+  if (close == std::string_view::npos) return;
+  const std::string_view rules = rest.substr(0, close);
+  const std::string reason{trim(rest.substr(close + 1))};
+
+  std::size_t start = 0;
+  while (start <= rules.size()) {
+    std::size_t comma = rules.find(',', start);
+    if (comma == std::string_view::npos) comma = rules.size();
+    const std::string_view rule = trim(rules.substr(start, comma - start));
+    if (!rule.empty()) out.push_back({std::string{rule}, reason, line, false});
+    start = comma + 1;
+  }
+}
+
+}  // namespace
+
+SourceFile make_source_file(std::string rel, std::string text) {
+  SourceFile file;
+  file.rel = std::move(rel);
+  file.text = std::move(text);
+  file.is_header = file.rel.size() >= 2 &&
+                   file.rel.compare(file.rel.size() - 2, 2, ".h") == 0;
+  file.tokens = lex(file.text);
+  for (const Token& t : file.tokens) {
+    if (t.kind == TokenKind::kComment)
+      parse_suppressions(file.tok(t), t.line, file.suppressions);
+  }
+  return file;
+}
+
+std::string_view module_of(std::string_view rel) {
+  const std::size_t slash = rel.find('/');
+  return slash == std::string_view::npos ? rel : rel.substr(0, slash);
+}
+
+}  // namespace xfa::lint

@@ -1,0 +1,61 @@
+// Shared data model of the lint framework: a lexed source file, a finding,
+// and the inline-suppression record.
+//
+// Paths: every SourceFile carries `rel`, its path relative to the scanned
+// src/ root ("net/node.h"), which is also the repo's include spelling. Rules
+// key their directory scoping off `rel`; reporters prefix it back to a
+// repo-relative "src/..." path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/token.h"
+
+namespace xfa::lint {
+
+struct Finding {
+  std::string file;  // rel path under src/, e.g. "net/node.h"
+  std::uint32_t line = 1;
+  std::uint32_t col = 1;
+  std::string rule;     // stable rule id from the registry
+  std::string message;  // human-readable explanation (the "why")
+  bool suppressed = false;
+  std::string suppress_reason;
+};
+
+/// One `// xfa-lint: allow(<rule>) <reason>` comment. A suppression covers
+/// findings of its rule on the comment's own line and on the next line (so
+/// it can sit on the offending line or immediately above it). `rule` may be
+/// "*" to allow every rule. Suppressions are themselves counted and
+/// reported; an unused one is surfaced so stale allowances cannot linger.
+struct Suppression {
+  std::string rule;
+  std::string reason;
+  std::uint32_t line = 0;
+  bool used = false;
+};
+
+struct SourceFile {
+  std::string rel;
+  std::string text;
+  std::vector<Token> tokens;
+  std::vector<Suppression> suppressions;
+  bool is_header = false;
+
+  std::string_view tok(const Token& t) const { return token_text(text, t); }
+  std::string_view tok(std::size_t index) const {
+    return token_text(text, tokens[index]);
+  }
+};
+
+/// Lexes `text` and parses its suppression comments into a SourceFile.
+SourceFile make_source_file(std::string rel, std::string text);
+
+/// First path component of a rel path: module_of("routing/aodv/aodv.h") ==
+/// "routing".
+std::string_view module_of(std::string_view rel);
+
+}  // namespace xfa::lint

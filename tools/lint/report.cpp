@@ -1,0 +1,178 @@
+#include "lint/report.h"
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "lint/rules.h"
+
+namespace xfa::lint {
+namespace {
+
+/// Minimal JSON string escaping (the only non-ASCII we emit is file text
+/// we authored, so control characters and quotes are the real risks).
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  return out;
+}
+
+std::string src_path(const Finding& f) { return "src/" + f.file; }
+
+}  // namespace
+
+std::string render_text(const LintResult& r) {
+  std::string out;
+  for (const Finding& f : r.findings) {
+    out += src_path(f) + ":" + std::to_string(f.line) + ":" +
+           std::to_string(f.col) + ": [" + f.rule + "] " + f.message + "\n";
+  }
+  for (const Finding& f : r.suppressed) {
+    out += src_path(f) + ":" + std::to_string(f.line) + ": [" + f.rule +
+           "] suppressed";
+    if (!f.suppress_reason.empty()) out += " — " + f.suppress_reason;
+    out += "\n";
+  }
+  for (const Suppression& s : r.unused_suppressions) {
+    out += "warning: unused suppression for '" + s.rule + "' at " + s.reason +
+           " line " + std::to_string(s.line) +
+           " — remove the stale allow comment\n";
+  }
+  out += "xfa_lint: " + std::to_string(r.files_scanned) + " files, " +
+         std::to_string(r.findings.size()) + " finding(s), " +
+         std::to_string(r.suppressed.size()) + " suppressed\n";
+  return out;
+}
+
+std::string render_json(const LintResult& r) {
+  std::string out = "{\n  \"tool\": \"xfa_lint\",\n  \"files_scanned\": " +
+                    std::to_string(r.files_scanned) + ",\n  \"findings\": [";
+  const auto emit = [&out](const Finding& f, bool first) {
+    if (!first) out += ",";
+    out += "\n    {\"file\": \"" + json_escape(src_path(f)) +
+           "\", \"line\": " + std::to_string(f.line) +
+           ", \"col\": " + std::to_string(f.col) + ", \"rule\": \"" +
+           json_escape(f.rule) + "\", \"suppressed\": " +
+           (f.suppressed ? "true" : "false") + ", \"message\": \"" +
+           json_escape(f.message) + "\"";
+    if (f.suppressed)
+      out += ", \"suppress_reason\": \"" + json_escape(f.suppress_reason) +
+             "\"";
+    out += "}";
+  };
+  bool first = true;
+  for (const Finding& f : r.findings) {
+    emit(f, first);
+    first = false;
+  }
+  out += "\n  ],\n  \"suppressed\": [";
+  first = true;
+  for (const Finding& f : r.suppressed) {
+    emit(f, first);
+    first = false;
+  }
+  out += "\n  ],\n  \"unused_suppressions\": [";
+  first = true;
+  for (const Suppression& s : r.unused_suppressions) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    {\"rule\": \"" + json_escape(s.rule) +
+           "\", \"line\": " + std::to_string(s.line) + "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string render_sarif(const LintResult& r) {
+  std::string out =
+      "{\n"
+      "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [{\n"
+      "    \"tool\": {\"driver\": {\n"
+      "      \"name\": \"xfa_lint\",\n"
+      "      \"informationUri\": \"tools/lint\",\n"
+      "      \"rules\": [";
+  bool first = true;
+  for (const RuleInfo& rule : rule_registry()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n        {\"id\": \"" + json_escape(rule.id) +
+           "\", \"shortDescription\": {\"text\": \"" +
+           json_escape(rule.synopsis) +
+           "\"}, \"fullDescription\": {\"text\": \"" +
+           json_escape(rule.rationale) + "\"}}";
+  }
+  out +=
+      "\n      ]\n"
+      "    }},\n"
+      "    \"results\": [";
+  first = true;
+  for (const Finding& f : r.findings) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n      {\"ruleId\": \"" + json_escape(f.rule) +
+           "\", \"level\": \"error\", \"message\": {\"text\": \"" +
+           json_escape(f.message) +
+           "\"}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \"" +
+           json_escape(src_path(f)) +
+           "\"}, \"region\": {\"startLine\": " + std::to_string(f.line) +
+           ", \"startColumn\": " + std::to_string(f.col) + "}}}]}";
+  }
+  for (const Finding& f : r.suppressed) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n      {\"ruleId\": \"" + json_escape(f.rule) +
+           "\", \"level\": \"note\", \"message\": {\"text\": \"" +
+           json_escape(f.message) +
+           "\"}, \"suppressions\": [{\"kind\": \"inSource\", "
+           "\"justification\": \"" +
+           json_escape(f.suppress_reason) +
+           "\"}], \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \"" +
+           json_escape(src_path(f)) +
+           "\"}, \"region\": {\"startLine\": " + std::to_string(f.line) +
+           ", \"startColumn\": " + std::to_string(f.col) + "}}}]}";
+  }
+  out += "\n    ]\n  }]\n}\n";
+  return out;
+}
+
+std::string render_rule_table() {
+  std::string out = "| rule | checks | scope |\n|---|---|---|\n";
+  for (const RuleInfo& rule : rule_registry()) {
+    out += "| `" + std::string{rule.id} + "` | " + std::string{rule.synopsis} +
+           " | " + std::string{rule.scope} + " |\n";
+  }
+  return out;
+}
+
+std::string render_rule_list() {
+  std::string out = render_rule_table();
+  out += "\n";
+  for (const RuleInfo& rule : rule_registry()) {
+    out += std::string{rule.id} + "\n  " + std::string{rule.rationale} +
+           "\n\n";
+  }
+  return out;
+}
+
+}  // namespace xfa::lint

@@ -1,0 +1,33 @@
+// Reporters: deterministic text / JSON / SARIF 2.1.0 rendering of a lint
+// run, plus the markdown rule table behind `xfa_lint --list`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/model.h"
+
+namespace xfa::lint {
+
+/// The complete outcome of a lint run, pre-sorted deterministically
+/// (rel path, line, col, rule) regardless of scan parallelism.
+struct LintResult {
+  std::vector<Finding> findings;    // active (unsuppressed) findings
+  std::vector<Finding> suppressed;  // findings covered by an allow comment
+  std::vector<Suppression> unused_suppressions;  // stale allow comments
+  std::size_t files_scanned = 0;
+};
+
+std::string render_text(const LintResult& result);
+std::string render_json(const LintResult& result);
+std::string render_sarif(const LintResult& result);
+
+/// The `--list` output: a markdown table of every registered rule
+/// (id | synopsis | scope) followed by per-rule rationale paragraphs.
+/// README.md embeds the table portion verbatim so docs cannot drift.
+std::string render_rule_list();
+
+/// Just the markdown table rows (between the README generation markers).
+std::string render_rule_table();
+
+}  // namespace xfa::lint

@@ -1,0 +1,52 @@
+// Rule registry and the two rule-execution entry points.
+//
+// Every rule has a stable ID, a one-line synopsis, a scope note, and a
+// rationale paragraph — printable via `xfa_lint --list` and embedded into
+// JSON/SARIF reports, following the actionable-output line of the paper's
+// related work: a finding must say what fired, where, and why it matters.
+//
+// Rules come in two shapes:
+//   - file rules: look at one lexed TU at a time (token patterns, brace/loop
+//     tracking). Run in parallel across files.
+//   - project rules: need the whole tree (the include graph, CMake
+//     registration, cross-file type knowledge for ordered-iteration). Run
+//     once after every file is lexed.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/model.h"
+
+namespace xfa::lint {
+
+struct RuleInfo {
+  std::string_view id;
+  std::string_view synopsis;   // one line, shown in --list and reports
+  std::string_view scope;      // where it applies, e.g. "src/net, loops"
+  std::string_view rationale;  // why the invariant exists
+};
+
+/// All rules in stable (alphabetical) registry order.
+const std::vector<RuleInfo>& rule_registry();
+
+/// nullptr when the id is unknown (e.g. a typo in a suppression comment).
+const RuleInfo* find_rule(std::string_view id);
+
+/// The whole scanned tree plus out-of-band inputs for project rules.
+struct Project {
+  std::vector<SourceFile> files;  // sorted by rel
+  std::string cmake_text;         // contents of src/CMakeLists.txt
+
+  const SourceFile* find(std::string_view rel) const;
+};
+
+/// Runs every single-file rule over one TU.
+void run_file_rules(const SourceFile& file, std::vector<Finding>& out);
+
+/// Runs every whole-tree rule (include graph, layering, IWYU-lite,
+/// CMake registration, cross-TU ordered-iteration).
+void run_project_rules(const Project& project, std::vector<Finding>& out);
+
+}  // namespace xfa::lint

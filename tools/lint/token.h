@@ -1,0 +1,49 @@
+// Token model for the xfa_lint C++ lexer.
+//
+// The lexer (lint/lexer.h) turns a source buffer into a flat token vector.
+// Rules match on tokens, never on raw text, which is what lets them stay
+// silent on rule triggers that appear inside comments, string literals, and
+// raw strings — the blind spot of the regex-based lint this framework
+// replaced.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace xfa::lint {
+
+enum class TokenKind : std::uint8_t {
+  kIdentifier,    // foo, audit_, XFA_CHECK — keywords excluded
+  kKeyword,       // C++20 keyword (for, while, namespace, const, ...)
+  kNumber,        // pp-number: 42, 0x1F, 1'000'000, 1e-5, 0b1010
+  kString,        // "..." including encoding prefixes and R"delim(...)delim"
+  kCharLit,       // 'x', L'\n'
+  kPunct,         // operators and punctuation, maximal munch ("<<=", "::")
+  kComment,       // // line (with continuations) or /* block */
+  kPreprocessor,  // a whole logical directive line: #include <x>, #define ...
+};
+
+struct Token {
+  TokenKind kind;
+  std::uint32_t offset;  // byte offset into the source buffer
+  std::uint32_t length;  // byte length
+  std::uint32_t line;    // 1-based line of the first byte
+  std::uint32_t col;     // 1-based column of the first byte
+};
+
+/// Lexes a C++ source buffer. Never fails: malformed input (unterminated
+/// literals, stray bytes) degrades to best-effort tokens so the linter can
+/// still scan the rest of the file.
+std::vector<Token> lex(std::string_view text);
+
+/// The token's text within the buffer it was lexed from.
+inline std::string_view token_text(std::string_view text, const Token& t) {
+  return text.substr(t.offset, t.length);
+}
+
+/// True for the C++20 keyword set (including alternative operator
+/// representations like `and`/`not_eq`).
+bool is_cpp_keyword(std::string_view word);
+
+}  // namespace xfa::lint
